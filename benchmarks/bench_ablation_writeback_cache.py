@@ -1,0 +1,38 @@
+"""Ablation (Sections III-E / IV-A): the 128 KB per-channel writeback
+cache the paper adds to the Commercial Baseline for fairness.
+
+Paper: it improves baseline performance by ~1%.
+"""
+
+from conftest import bench_refs, bench_seed, once, publish
+
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import suite_average
+from repro.cache.hierarchy import hierarchy1
+from repro.sim import NodeConfig, simulate_node
+from repro.workloads import suite_names
+
+
+def test_ablation_writeback_cache(benchmark):
+    def run():
+        out = {}
+        for suite in suite_names():
+            with_wb = simulate_node(NodeConfig(
+                suite=suite, hierarchy=hierarchy1(), design="baseline",
+                refs_per_core=bench_refs(), seed=bench_seed()))
+            without = simulate_node(NodeConfig(
+                suite=suite, hierarchy=hierarchy1(),
+                design="baseline-plain",
+                refs_per_core=bench_refs(), seed=bench_seed()))
+            out[suite] = without.time_ns / with_wb.time_ns
+        return out
+
+    speedups = once(benchmark, run)
+    rows = [[s, v] for s, v in speedups.items()]
+    avg = suite_average(speedups)
+    text = format_table(
+        ["suite", "baseline+wbcache speedup over plain baseline"],
+        rows, title="Ablation: per-channel writeback cache")
+    text += "\n\naverage: {:.3f} (paper: ~1.01)".format(avg)
+    publish("ablation_writeback_cache", text)
+    assert avg > 0.97    # the cache must not hurt

@@ -1,0 +1,36 @@
+"""Figure 2: frequency margins across the 119 server modules —
+per-module margins and the population histogram."""
+
+from conftest import once, publish
+
+from repro.analysis.reporting import format_bar_chart, format_table
+from repro.analysis.stats import histogram, mean
+from repro.characterization import ModulePopulation, measure_population
+
+
+def test_fig02_margin_distribution(benchmark):
+    def run():
+        pop = ModulePopulation()
+        return pop, measure_population(pop.modules)
+
+    pop, measured = once(benchmark, run)
+    abc = [measured[m.module_id].margin_mts for m in pop.major_brands()]
+    d = [measured[m.module_id].margin_mts for m in pop.by_brand("D")]
+    hist = histogram([measured[m.module_id].margin_mts
+                      for m in pop.modules], 200)
+    chart = format_bar_chart({"{:>5.0f} MT/s".format(k): v
+                              for k, v in hist.items()}, fmt="{:.0f}")
+    avg_abc = mean(abc)
+    frac = mean([measured[m.module_id].margin_mts /
+                 measured[m.module_id].spec_rate_mts
+                 for m in pop.major_brands()])
+    summary = format_table(
+        ["population", "mean margin (MT/s)", "paper"],
+        [["brands A-C (103 modules)", avg_abc, 770],
+         ["brand D (16 modules)", mean(d), 213]],
+        title="Figure 2: frequency margins of 119 modules")
+    publish("fig02_margin_distribution",
+            summary + "\n\nmargin histogram (all brands):\n" + chart +
+            "\n\nmean margin fraction (A-C): {:.1%} (paper: 27%)"
+            .format(frac))
+    assert 700 <= avg_abc <= 840

@@ -1,0 +1,42 @@
+"""Figure 3: impact of brand (99% CIs) and chips/rank (std dev)."""
+
+from conftest import once, publish
+
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import confidence_interval_99, mean, stdev
+from repro.characterization import ModulePopulation, measure_population
+
+
+def test_fig03_brand_and_chips_per_rank(benchmark):
+    def run():
+        pop = ModulePopulation()
+        return pop, measure_population(pop.modules)
+
+    pop, measured = once(benchmark, run)
+
+    def margins(mods):
+        return [measured[m.module_id].margin_mts for m in mods]
+
+    brand_rows = []
+    for b in "ABCD":
+        mu, half = confidence_interval_99(margins(pop.by_brand(b)))
+        brand_rows.append(["Brand {} ({})".format(b, len(pop.by_brand(b))),
+                           mu, "+/- {:.0f}".format(half)])
+    m9, m18 = margins(pop.by_chips_per_rank(9)), \
+        margins(pop.by_chips_per_rank(18))
+    chips_rows = [
+        ["9 chips/rank ({})".format(len(m9)), mean(m9), stdev(m9), min(m9)],
+        ["18 chips/rank ({})".format(len(m18)), mean(m18), stdev(m18),
+         min(m18)],
+    ]
+    text = format_table(["brand", "mean margin (MT/s)", "99% CI"],
+                        brand_rows, title="Figure 3a: impact of brand")
+    text += "\n\n" + format_table(
+        ["group", "mean (MT/s)", "STDev", "min"], chips_rows,
+        title="Figure 3b: impact of chips per rank")
+    text += ("\nSTDev ratio 18:9 chips/rank = {:.1f}x (paper: 2.1x); "
+             "9-chips/rank minimum {} MT/s (paper: 600)"
+             .format(stdev(m18) / stdev(m9), min(m9)))
+    publish("fig03_brand_chips_per_rank", text)
+    assert min(m9) >= 600
+    assert stdev(m18) > 1.5 * stdev(m9)

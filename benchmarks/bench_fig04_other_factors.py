@@ -1,0 +1,51 @@
+"""Figure 4: aging, ranks/module, chip density, and manufacture date
+have little impact on frequency margin; Figure 3c: manufacturer-
+specified data rate does (with the platform-cap caveat)."""
+
+from conftest import once, publish
+
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import mean
+from repro.characterization import ModulePopulation, measure_population
+
+
+def test_fig04_other_factors(benchmark):
+    def run():
+        pop = ModulePopulation()
+        return pop, measure_population(pop.modules)
+
+    pop, measured = once(benchmark, run)
+
+    def avg(mods):
+        vals = [measured[m.module_id].margin_mts for m in mods]
+        return mean(vals) if vals else float("nan")
+
+    major = pop.major_brands()
+    rows = []
+    for cond in ("new", "in-production", "refurbished"):
+        rows.append(["condition: " + cond, avg(pop.by_condition(cond))])
+    for ranks in (1, 2):
+        mods = [m for m in major if m.spec.ranks_per_module == ranks]
+        rows.append(["{} rank(s)/module ({})".format(ranks, len(mods)),
+                     avg(mods)])
+    for density in (8, 16):
+        mods = [m for m in major if m.spec.chip_density_gbit == density]
+        rows.append(["{} Gbit chips ({})".format(density, len(mods)),
+                     avg(mods)])
+    years = sorted({m.spec.manufacture_year for m in major})
+    for y in years:
+        mods = [m for m in major if m.spec.manufacture_year == y]
+        rows.append(["manufactured {} ({})".format(y, len(mods)),
+                     avg(mods)])
+    rate_rows = [["{} MT/s modules".format(r), avg(pop.by_spec_rate(r))]
+                 for r in (2400, 3200)]
+    text = format_table(["module factor", "mean margin (MT/s)"], rows,
+                        title="Figure 4: other module factors")
+    text += "\n\n" + format_table(
+        ["spec data rate", "mean margin (MT/s)"], rate_rows,
+        title="Figure 3c: impact of specified data rate "
+              "(3200 MT/s capped by the 4000 MT/s platform)")
+    publish("fig04_other_factors", text)
+    new, used = avg(pop.by_condition("new")), avg(
+        pop.by_condition("in-production"))
+    assert abs(new - used) / new < 0.25

@@ -1,0 +1,66 @@
+"""Figure 6: per-module error rates when exploiting margins, at 23C
+and 45C ambient, for frequency-only and frequency+latency settings."""
+
+from conftest import once, publish
+
+from repro.analysis.reporting import format_table
+from repro.characterization import ModulePopulation, TestMachine
+from repro.errors import ErrorScenario, population_error_summary
+
+
+def test_fig06_error_rates(benchmark):
+    def run():
+        pop = ModulePopulation()
+        machine = TestMachine()
+        out = {}
+        # The 45C comparison covers the thermal-chamber set (brands
+        # A-C minus the borrowed A8-A31); use the same set at 23C so
+        # the temperature ratios compare like with like.
+        for ambient in (23.0, 45.0):
+            for lat in (False, True):
+                ces, ues, boot_failures, zero = [], [], 0, 0
+                for m in pop.thermal_chamber_set():
+                    meas = machine.measure_error_rates(
+                        m, ambient_c=ambient, with_latency_margin=lat)
+                    if meas is None or m.fails_boot_at_45c:
+                        # Boot failures only manifest in the chamber;
+                        # exclude those modules from both ambients'
+                        # statistics so the ratios compare like sets.
+                        if ambient > 30:
+                            boot_failures += 1
+                        continue
+                    ces.append(meas.corrected_errors)
+                    ues.append(meas.uncorrected_errors)
+                    if meas.corrected_errors == 0 and \
+                            meas.uncorrected_errors == 0:
+                        zero += 1
+                out[(ambient, lat)] = dict(
+                    n=len(ces), mean_ce=sum(ces) / len(ces),
+                    mean_ue=sum(ues) / len(ues), zero=zero,
+                    boot_failures=boot_failures)
+        return out
+
+    out = once(benchmark, run)
+    rows = []
+    for (ambient, lat), s in out.items():
+        rows.append(["{:.0f}C {}".format(
+            ambient, "freq+lat" if lat else "freq-only"),
+            s["n"], s["mean_ce"], s["mean_ue"], s["zero"],
+            s["boot_failures"]])
+    text = format_table(
+        ["scenario", "modules", "mean CE/h", "mean UE/h",
+         "zero-error modules", "45C boot failures"],
+        rows, title="Figure 6: error rates at highest bootable rate")
+    r23 = out[(23.0, False)]["mean_ce"]
+    r45 = out[(45.0, False)]["mean_ce"]
+    l23 = out[(23.0, True)]["mean_ce"]
+    l45 = out[(45.0, True)]["mean_ce"]
+    text += ("\n\n45C/23C CE ratio: freq-only {:.1f}x (paper: 4x), "
+             "freq+lat {:.1f}x (paper: 2x); "
+             "45C boot failures: {} (paper: 9)"
+             .format(r45 / r23, l45 / l23,
+                     out[(45.0, False)]["boot_failures"]))
+    publish("fig06_error_rates", text)
+    assert 3.3 <= r45 / r23 <= 4.7
+    assert 1.6 <= l45 / l23 <= 2.4
+    assert out[(45.0, False)]["boot_failures"] == 9

@@ -1,0 +1,38 @@
+"""Figure 11: Monte Carlo distribution of channel- and node-level
+frequency margins under margin-aware and margin-unaware selection."""
+
+from conftest import once, publish
+
+from repro.analysis.reporting import format_table
+from repro.characterization import MarginMonteCarlo
+
+
+def test_fig11_margin_variability(benchmark):
+    def run():
+        mc = MarginMonteCarlo()
+        return {
+            "channel-aware": mc.channel_margins(40000, True),
+            "channel-unaware": mc.channel_margins(40000, False),
+            "node-aware": mc.node_margins(8000, True),
+            "node-unaware": mc.node_margins(8000, False),
+        }
+
+    dists = once(benchmark, run)
+    paper = {
+        ("channel-aware", 800): 0.96, ("channel-unaware", 800): 0.80,
+        ("node-aware", 800): 0.62, ("node-unaware", 800): 0.07,
+        ("node-aware", 600): 0.98, ("node-unaware", 600): 0.96,
+    }
+    rows = []
+    for (name, thr), target in paper.items():
+        measured = dists[name].fraction_at_least(thr)
+        rows.append(["{} >= {} MT/s".format(name, thr), measured, target])
+    text = format_table(["population", "measured fraction", "paper"],
+                        rows, title="Figure 11: margin variability")
+    groups = MarginMonteCarlo().node_group_fractions(8000)
+    text += ("\n\nmargin-aware node groups: 0.8 GT/s {:.0%}, 0.6 GT/s "
+             "{:.0%}, 0 GT/s {:.0%} (paper: 62% / 36% / 2%)".format(
+                 groups[800], groups[600], groups[0]))
+    publish("fig11_margin_variability", text)
+    for (name, thr), target in paper.items():
+        assert abs(dists[name].fraction_at_least(thr) - target) < 0.05

@@ -1,0 +1,27 @@
+"""Table I: scale of the characterization study vs prior works."""
+
+from conftest import once, publish
+
+from repro.analysis.reporting import format_table
+from repro.characterization import ModulePopulation
+
+
+PRIOR_WORK = [
+    ("Prior Work [60]", "DDR3 SO-DIMM", 96, 768, "latency"),
+    ("Prior Work [56]", "DDR3 SO-DIMM", 32, 416, "latency"),
+    ("Prior Work [47]", "DDR3 SO-DIMM", 30, 240, "latency"),
+    ("Prior Work [65]", "LPDDR4", "N/A", 368, "latency"),
+    ("Prior Work [62]", "DDR3 SO-DIMM", 34, 248, "latency"),
+    ("Prior Work [50]", "DDR3 UDIMM", 8, 64, "voltage"),
+]
+
+
+def test_table1_study_scale(benchmark):
+    pop = once(benchmark, ModulePopulation)
+    rows = [["This Paper (reproduced)", "DDR4 RDIMM", len(pop.modules),
+             pop.total_chips(), "frequency"]]
+    rows += [list(r) for r in PRIOR_WORK]
+    publish("table1_study_scale", format_table(
+        ["study", "DRAM type", "# modules", "# chips", "margin"],
+        rows, title="Table I: scale of the study"))
+    assert len(pop.modules) == 119

@@ -1,0 +1,49 @@
+"""Shared infrastructure for the figure/table regeneration benches.
+
+Every bench target regenerates one of the paper's tables or figures,
+prints it, and saves it under ``benchmarks/results/``.  Node
+simulations are served by one session-scoped
+:class:`~repro.sim.runner.ExperimentRunner`, so benches that view the
+same runs (Figures 12-16) pay for each simulation once.
+
+Environment knobs:
+
+* ``REPRO_BENCH_REFS`` — L2 references per core per simulation
+  (default 3000; larger is slower and less noisy).
+* ``REPRO_BENCH_SEED`` — trace seed (default 12345).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.sim.runner import ExperimentRunner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_refs() -> int:
+    return int(os.environ.get("REPRO_BENCH_REFS", "3000"))
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "12345"))
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(refs_per_core=bench_refs(), seed=bench_seed())
+
+
+def publish(name: str, text: str) -> None:
+    """Print a regenerated figure/table and persist it to results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "{}.txt".format(name)).write_text(text + "\n")
+    print()
+    print(text)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Example: a Grizzly-like HPC system with and without Hetero-DMR.
+
+Generates a synthetic job trace at ~78% cluster utilization, assigns
+node margins by the Section III-D Monte Carlo fractions, and replays
+the trace through four systems: conventional, Hetero-DMR with the
+margin-aware scheduler, Hetero-DMR with the default scheduler, and a
+conventional system with 17% extra nodes (the paper's cross-check).
+
+Run:  python examples/hpc_system.py [nodes] [jobs]
+"""
+
+import sys
+
+from repro.analysis.reporting import format_table
+from repro.hpc import (CONVENTIONAL_MODEL, Cluster, EasyBackfillScheduler,
+                       MarginAwareAllocationPolicy, PerformanceModel,
+                       SystemSimulator, TraceConfig, bucket_fractions,
+                       generate_trace)
+
+
+def main() -> None:
+    nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    njobs = int(sys.argv[2]) if len(sys.argv) > 2 else 3000
+    jobs = generate_trace(TraceConfig(total_nodes=nodes,
+                                      job_count=njobs))
+    frac = bucket_fractions(jobs)
+    print("trace: {} jobs on {} nodes; memory buckets: "
+          "<25% {:.0%}, 25-50% {:.0%}, >=50% {:.0%}".format(
+              njobs, nodes, frac["under_25"], frac["25_to_50"],
+              frac["over_50"]))
+
+    pm = PerformanceModel()
+    systems = {
+        "conventional": SystemSimulator(
+            Cluster(nodes), EasyBackfillScheduler(), CONVENTIONAL_MODEL),
+        "hetero-dmr + margin-aware": SystemSimulator(
+            Cluster(nodes),
+            EasyBackfillScheduler(MarginAwareAllocationPolicy()), pm),
+        "hetero-dmr + default sched": SystemSimulator(
+            Cluster(nodes), EasyBackfillScheduler(), pm),
+        "conventional +17% nodes": SystemSimulator(
+            Cluster(int(nodes * 1.17)), EasyBackfillScheduler(),
+            CONVENTIONAL_MODEL),
+    }
+    results = {name: sim.run(jobs) for name, sim in systems.items()}
+    conv = results["conventional"]
+
+    rows = []
+    for name, r in results.items():
+        rows.append([
+            name,
+            "{:.0f}".format(r.mean_execution_s()),
+            "{:.0f}".format(r.mean_queue_delay_s()),
+            "{:.0f}".format(r.mean_turnaround_s()),
+            "{:.3f}".format(conv.mean_turnaround_s() /
+                            r.mean_turnaround_s()),
+        ])
+    print()
+    print(format_table(
+        ["system", "mean exec s", "mean queue s", "mean turnaround s",
+         "turnaround speedup"], rows,
+        title="system-wide results"))
+    hdmr = results["hetero-dmr + margin-aware"]
+    print("\nqueueing-delay cut: {:.0%} vs execution-time cut {:.0%} — "
+          "queueing amplifies the node speedup, the Figure 17 effect."
+          .format(1 - hdmr.mean_queue_delay_s() / conv.mean_queue_delay_s(),
+                  1 - hdmr.mean_execution_s() / conv.mean_execution_s()))
+
+
+if __name__ == "__main__":
+    main()

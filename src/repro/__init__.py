@@ -1,0 +1,27 @@
+"""repro: a from-scratch reproduction of "Quantifying Server Memory
+Frequency Margin and Using It to Improve Performance in HPC Systems"
+(ISCA 2021) — the Hetero-DMR paper.
+
+Subpackages
+-----------
+``repro.characterization``
+    Section II: synthetic RDIMM population, margin testbench, thermal
+    model, latency-margin search, margin-variability Monte Carlo.
+``repro.dram`` / ``repro.mem_ctrl`` / ``repro.cache`` / ``repro.cpu``
+    The simulated node's substrates: DDR4 devices and timing, the
+    FR-FCFS memory controller, the cache hierarchy, trace-driven cores.
+``repro.ecc`` / ``repro.errors``
+    Bamboo Reed-Solomon ECC (detect-only and correcting decodes) and
+    fault models/injection for out-of-spec operation.
+``repro.core``
+    Hetero-DMR itself: replication, heterogeneous read/write modes,
+    detection, correction, the epoch guard, FMR, margin selection.
+``repro.sim`` / ``repro.workloads`` / ``repro.energy``
+    The single-node performance simulator, the six HPC benchmark-suite
+    trace generators, and the system EPI model.
+``repro.hpc``
+    The Slurm-simulator stand-in: Grizzly-like traces, FCFS + EASY
+    backfill, the margin-aware scheduler, system-wide metrics.
+"""
+
+__version__ = "1.0.0"

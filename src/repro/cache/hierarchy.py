@@ -1,0 +1,138 @@
+"""Cache hierarchy assembly for the paper's two configurations.
+
+Table III (real system) and Table IV (simulated system):
+
+* Hierarchy1: 8 cores, 4.5 MB of L2+L3 per core, one memory channel.
+* Hierarchy2: 16 cores, 2.375 MB of L2+L3 per core, four channels.
+
+Both use 1 MB 16-way private L2 per core (12-cycle latency) and a
+shared L3 (22 ns latency) making up the remainder of the per-core
+budget.  The workload traces are generated at L2-reference granularity
+(L1 behaviour is folded into each trace's compute gaps), so the
+hierarchy's job is L2 -> L3 -> memory filtering plus writeback traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .cache import Cache, LINE_BYTES
+
+#: CPU frequency from Table IV, used to convert ns latencies to cycles.
+CPU_GHZ = 3.1
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometry and latency of one cache hierarchy."""
+    name: str
+    cores: int
+    l2_bytes_per_core: int
+    l2_assoc: int
+    l2_latency_cycles: int
+    l3_bytes_total: int
+    l3_assoc: int
+    l3_latency_cycles: int
+    channels: int
+    modules_per_channel: int = 2
+    ranks_per_module: int = 2
+
+    @property
+    def cache_per_core_mb(self) -> float:
+        return (self.l2_bytes_per_core +
+                self.l3_bytes_total / self.cores) / (1 << 20)
+
+
+def hierarchy1() -> HierarchyConfig:
+    """Table III Hierarchy1: 8 cores, 4.5 MB (L2+L3)/core, 1 channel."""
+    return HierarchyConfig(
+        name="Hierarchy1", cores=8,
+        l2_bytes_per_core=1 << 20, l2_assoc=16, l2_latency_cycles=12,
+        l3_bytes_total=28 << 20, l3_assoc=14,
+        l3_latency_cycles=int(22 * CPU_GHZ),   # 22 ns at 3.1 GHz
+        channels=1)
+
+
+def hierarchy2() -> HierarchyConfig:
+    """Table III Hierarchy2: 16 cores, 2.375 MB (L2+L3)/core, 4 channels."""
+    return HierarchyConfig(
+        name="Hierarchy2", cores=16,
+        l2_bytes_per_core=1 << 20, l2_assoc=16, l2_latency_cycles=12,
+        l3_bytes_total=22 << 20, l3_assoc=11,
+        l3_latency_cycles=int(22 * CPU_GHZ),
+        channels=4)
+
+
+#: Both hierarchies keyed by name, as iterated by the benches.
+HIERARCHIES = {"Hierarchy1": hierarchy1, "Hierarchy2": hierarchy2}
+
+
+@dataclass
+class AccessOutcome:
+    """Result of pushing one reference through the hierarchy."""
+    level: str                     # 'L2', 'L3', or 'MEM'
+    latency_cycles: int            # on-chip latency component
+    memory_read: Optional[int]     # line address needing a DRAM read
+    writebacks: List[int]          # dirty evictions headed to DRAM
+
+
+class CacheHierarchy:
+    """Private L2s in front of a shared L3."""
+
+    def __init__(self, config: HierarchyConfig):
+        self.config = config
+        self.l2s = [Cache(config.l2_bytes_per_core, config.l2_assoc,
+                          name="L2.{}".format(i))
+                    for i in range(config.cores)]
+        self.l3 = Cache(config.l3_bytes_total, config.l3_assoc, name="L3")
+
+    def access(self, core: int, addr: int, is_write: bool) -> AccessOutcome:
+        """Run one reference through L2 then L3.
+
+        On an L3 miss the caller is responsible for issuing the memory
+        read and calling :meth:`fill` when it completes.
+        """
+        cfg = self.config
+        l2 = self.l2s[core]
+        line = self.l3.line_address(addr)
+        if l2.access(addr, is_write):
+            return AccessOutcome("L2", cfg.l2_latency_cycles, None, [])
+        writebacks: List[int] = []
+        if self.l3.access(addr, False):
+            wb = l2.fill(addr, dirty=is_write)
+            if wb is not None:
+                # L2 victim lands in L3 (exclusive-ish writeback path).
+                wb3 = self.l3.fill(wb, dirty=True)
+                if wb3 is not None:
+                    writebacks.append(wb3)
+            latency = cfg.l2_latency_cycles + cfg.l3_latency_cycles
+            return AccessOutcome("L3", latency, None, writebacks)
+        latency = cfg.l2_latency_cycles + cfg.l3_latency_cycles
+        return AccessOutcome("MEM", latency, line, writebacks)
+
+    def fill(self, core: int, addr: int, is_write: bool) -> List[int]:
+        """Install a returned memory line into L3 and the core's L2;
+        returns dirty-eviction writeback addresses for DRAM."""
+        writebacks: List[int] = []
+        wb3 = self.l3.fill(addr, dirty=False)
+        if wb3 is not None:
+            writebacks.append(wb3)
+        wb2 = self.l2s[core].fill(addr, dirty=is_write)
+        if wb2 is not None:
+            wb3 = self.l3.fill(wb2, dirty=True)
+            if wb3 is not None:
+                writebacks.append(wb3)
+        return writebacks
+
+    def fill_prefetch(self, addr: int) -> List[int]:
+        """Install a prefetched line into L3 only."""
+        wb = self.l3.fill(addr, dirty=False)
+        return [wb] if wb is not None else []
+
+    def llc_dirty_lru(self, limit: int) -> List[int]:
+        """Hetero-DMR cleaning hook: least-recently-used dirty LLC lines."""
+        return self.l3.dirty_lru_blocks(limit)
+
+    def llc_clean(self, addrs: List[int]) -> List[int]:
+        return self.l3.clean_blocks(addrs)

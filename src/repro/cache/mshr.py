@@ -1,0 +1,64 @@
+"""Miss Status Holding Registers: track and merge outstanding misses.
+
+The MSHR file bounds a core's memory-level parallelism and merges
+secondary misses to a line already in flight, so one DRAM access
+services every waiter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class MshrStats:
+    allocations: int = 0
+    merges: int = 0
+    full_stalls: int = 0
+
+
+class MshrFile:
+    """A fixed-size set of outstanding line misses."""
+
+    def __init__(self, entries: int = 16):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._inflight: Dict[int, List[object]] = {}
+        self.stats = MshrStats()
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def full(self) -> bool:
+        return len(self._inflight) >= self.entries
+
+    def lookup(self, line_addr: int) -> bool:
+        """Is a miss to this line already outstanding?"""
+        return line_addr in self._inflight
+
+    def allocate(self, line_addr: int,
+                 waiter: Optional[object] = None) -> bool:
+        """Register a miss.  Returns True when this is the *primary*
+        miss (a new DRAM request must be sent); False when merged.
+        Raises ``RuntimeError`` when full and the line is not in flight.
+        """
+        if line_addr in self._inflight:
+            if waiter is not None:
+                self._inflight[line_addr].append(waiter)
+            self.stats.merges += 1
+            return False
+        if self.full:
+            self.stats.full_stalls += 1
+            raise RuntimeError("MSHR file full")
+        self._inflight[line_addr] = [waiter] if waiter is not None else []
+        self.stats.allocations += 1
+        return True
+
+    def complete(self, line_addr: int) -> List[object]:
+        """Retire the miss; returns the merged waiters."""
+        if line_addr not in self._inflight:
+            raise KeyError("no outstanding miss for {:#x}".format(line_addr))
+        return self._inflight.pop(line_addr)

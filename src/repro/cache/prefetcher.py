@@ -1,0 +1,131 @@
+"""Cache prefetchers from Table IV: stride (configurable degree) and
+next-line with automatic turn-off.
+
+The stride prefetcher tracks a small table of recent access streams,
+confirms a constant stride twice, then issues ``degree`` prefetches
+ahead.  The next-line prefetcher issues one sequential prefetch per
+miss and monitors its own accuracy over windows of issued prefetches,
+disabling itself when accuracy drops below a threshold (the paper's
+"auto turn-off") and re-enabling after a probation window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from .cache import LINE_BYTES
+
+
+@dataclass
+class PrefetchStats:
+    issued: int = 0
+    useful: int = 0
+    turned_off_windows: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.useful / self.issued if self.issued else 0.0
+
+
+class StridePrefetcher:
+    """Stream-based stride prefetcher.
+
+    ``degree`` controls how many lines ahead are fetched once a stride
+    is confirmed (Table IV: degree 2 at L1, degree 4 at L2; our
+    simulated hierarchy attaches it in front of memory).
+    """
+
+    def __init__(self, degree: int = 4, table_size: int = 16):
+        if degree <= 0 or table_size <= 0:
+            raise ValueError("degree and table_size must be positive")
+        self.degree = degree
+        self.table_size = table_size
+        # stream id (address region) -> (last_line, stride, confidence)
+        self._table: Dict[int, List[int]] = {}
+        self.stats = PrefetchStats()
+
+    def observe(self, addr: int) -> List[int]:
+        """Feed one demand access; returns line addresses to prefetch."""
+        line = addr // LINE_BYTES
+        region = line >> 6   # 4 KB regions delimit streams
+        entry = self._table.get(region)
+        prefetches: List[int] = []
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                self._table.pop(next(iter(self._table)))
+            self._table[region] = [line, 0, 0]
+            return prefetches
+        last_line, stride, confidence = entry
+        delta = line - last_line
+        if delta == 0:
+            return prefetches
+        if delta == stride:
+            confidence = min(confidence + 1, 3)
+        else:
+            stride, confidence = delta, 1
+        self._table.pop(region)
+        self._table[region] = [line, stride, confidence]
+        if confidence >= 2 and stride != 0:
+            for k in range(1, self.degree + 1):
+                target = (line + stride * k) * LINE_BYTES
+                if target >= 0:
+                    prefetches.append(target)
+            self.stats.issued += len(prefetches)
+        return prefetches
+
+    def credit_useful(self, n: int = 1) -> None:
+        self.stats.useful += n
+
+
+class NextLinePrefetcher:
+    """Sequential next-line prefetcher with auto turn-off.
+
+    Tracks outstanding prefetched lines; when a window of ``window``
+    issued prefetches completes with accuracy below ``threshold``, the
+    prefetcher turns itself off for ``probation`` demand accesses.
+    """
+
+    def __init__(self, window: int = 64, threshold: float = 0.4,
+                 probation: int = 512):
+        self.window = window
+        self.threshold = threshold
+        self.probation = probation
+        self.enabled = True
+        self._window_issued = 0
+        self._window_useful = 0
+        self._probation_left = 0
+        self._outstanding: Set[int] = set()
+        self.stats = PrefetchStats()
+
+    def observe(self, addr: int, was_hit: bool) -> List[int]:
+        """Feed one demand access; returns line addresses to prefetch."""
+        line_addr = (addr // LINE_BYTES) * LINE_BYTES
+        if line_addr in self._outstanding:
+            self._outstanding.discard(line_addr)
+            self._window_useful += 1
+            self.stats.useful += 1
+        if not self.enabled:
+            self._probation_left -= 1
+            if self._probation_left <= 0:
+                self.enabled = True
+                self._window_issued = 0
+                self._window_useful = 0
+            return []
+        if was_hit:
+            return []
+        target = line_addr + LINE_BYTES
+        self._outstanding.add(target)
+        if len(self._outstanding) > 4 * self.window:
+            self._outstanding.pop()
+        self.stats.issued += 1
+        self._window_issued += 1
+        if self._window_issued >= self.window:
+            accuracy = self._window_useful / self._window_issued
+            if accuracy < self.threshold:
+                self.enabled = False
+                self._probation_left = self.probation
+                self.stats.turned_off_windows += 1
+            self._window_issued = 0
+            self._window_useful = 0
+        return [target]

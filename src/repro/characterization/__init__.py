@@ -1,0 +1,35 @@
+"""Real-system characterization substrate (Section II): synthetic
+module population, margin testbench, thermal model, latency-margin
+search, and margin-variability Monte Carlo."""
+
+from .margins import (CONSERVATIVE_MARGINS, LatencyMarginSearch,
+                      conservative_setting, exhaustive_test_count)
+from .modules import (IN_PRODUCTION_RANGE, ModulePopulation, STUDY_CHIPS,
+                      STUDY_MODULES, SyntheticModule,
+                      THERMAL_BOOT_FAILURES)
+from .montecarlo import (CHANNELS_PER_NODE, MarginDistribution,
+                         MarginMonteCarlo, MODULE_MARGIN_MEAN,
+                         MODULE_MARGIN_STDEV, MODULES_PER_CHANNEL)
+from .stress import (ACCESSES_PER_TEST, PASS_FRACTION, StressResult,
+                     StressTester)
+from .temperature import (CHAMBER_AMBIENT_C, FREQ_LAT_MARGIN_45C_MULTIPLIER,
+                          FREQ_MARGIN_45C_MULTIPLIER, ROOM_AMBIENT_C,
+                          TrinititeSampler, dimm_temperature_c,
+                          error_rate_multiplier, trinitite_percentile)
+from .testbench import (BootFailure, ErrorRateMeasurement,
+                        MarginMeasurement, PLATFORM_CAP_MTS, TestMachine,
+                        measure_population)
+
+__all__ = [
+    "ACCESSES_PER_TEST", "BootFailure", "CHAMBER_AMBIENT_C",
+    "CHANNELS_PER_NODE", "CONSERVATIVE_MARGINS", "ErrorRateMeasurement",
+    "FREQ_LAT_MARGIN_45C_MULTIPLIER", "FREQ_MARGIN_45C_MULTIPLIER",
+    "IN_PRODUCTION_RANGE", "LatencyMarginSearch", "MODULES_PER_CHANNEL",
+    "MODULE_MARGIN_MEAN", "MODULE_MARGIN_STDEV", "MarginDistribution",
+    "MarginMeasurement", "MarginMonteCarlo", "ModulePopulation",
+    "PASS_FRACTION", "PLATFORM_CAP_MTS", "ROOM_AMBIENT_C", "STUDY_CHIPS",
+    "STUDY_MODULES", "StressResult", "StressTester", "SyntheticModule",
+    "THERMAL_BOOT_FAILURES", "TestMachine", "TrinititeSampler",
+    "conservative_setting", "dimm_temperature_c", "error_rate_multiplier",
+    "exhaustive_test_count", "measure_population", "trinitite_percentile",
+]

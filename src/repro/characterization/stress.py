@@ -1,0 +1,95 @@
+"""Memory stress-test model (stressapptest-style, Section II).
+
+The paper determines a module's frequency margin by checking whether
+99.999%+ of accesses complete without error during a stress test at a
+candidate data rate.  Physically, error probability rises steeply once
+the data rate exceeds the module's true margin; below it, errors are
+(essentially) absent.  The model captures this with a sharp logistic
+around the hidden true margin plus measurement noise, so repeated
+measurements of one module can disagree by one 200 MT/s step — as real
+margin measurements do.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+#: The pass criterion: at least this fraction of accesses correct.
+PASS_FRACTION = 0.99999
+
+#: Accesses per characterization stress test (scaled-down stand-in for
+#: the paper's one-hour run).
+ACCESSES_PER_TEST = 200_000
+
+
+@dataclass
+class StressResult:
+    """Outcome of one stress test."""
+    data_rate_mts: int
+    accesses: int
+    errors: int
+
+    @property
+    def error_fraction(self) -> float:
+        return self.errors / self.accesses if self.accesses else 0.0
+
+    @property
+    def passed(self) -> bool:
+        return (1.0 - self.error_fraction) >= PASS_FRACTION
+
+
+class StressTester:
+    """Runs stress tests against a module's hidden ground truth."""
+
+    def __init__(self, seed: int = 99,
+                 accesses_per_test: int = ACCESSES_PER_TEST):
+        if accesses_per_test <= 0:
+            raise ValueError("accesses_per_test must be positive")
+        self._rng = random.Random(seed)
+        self.accesses_per_test = accesses_per_test
+        self.tests_run = 0
+
+    def error_probability(self, overshoot_mts: float) -> float:
+        """Per-access error probability when running ``overshoot_mts``
+        beyond the module's true margin (negative = within margin)."""
+        # Logistic in the overshoot; ~1e-7 at the margin itself and
+        # saturating quickly past it (~50 MT/s scale).
+        x = overshoot_mts / 50.0
+        return min(1.0, 1e-7 * math.exp(max(-50.0, min(50.0, 4.0 * x))))
+
+    def run(self, data_rate_mts: int, spec_rate_mts: int,
+            true_margin_mts: float,
+            rate_multiplier: float = 1.0) -> StressResult:
+        """Stress one module at ``data_rate_mts``.
+
+        ``rate_multiplier`` scales error probability (temperature, full
+        population, etc.).  The number of errors is sampled from the
+        per-access probability.
+        """
+        self.tests_run += 1
+        overshoot = data_rate_mts - (spec_rate_mts + true_margin_mts)
+        # Margin jitter: each test sees slightly different conditions.
+        overshoot += self._rng.gauss(0.0, 15.0)
+        p = min(1.0, self.error_probability(overshoot) * rate_multiplier)
+        n = self.accesses_per_test
+        if p <= 0.0:
+            errors = 0
+        elif p * n < 50:
+            # Poisson sampling for the rare-error regime.
+            errors = self._poisson(p * n)
+        else:
+            errors = int(p * n)
+        return StressResult(data_rate_mts, n, min(errors, n))
+
+    def _poisson(self, lam: float) -> int:
+        if lam <= 0:
+            return 0
+        # Knuth's method is fine for the small lambdas used here.
+        threshold = math.exp(-lam)
+        k, product = 0, self._rng.random()
+        while product > threshold:
+            k += 1
+            product *= self._rng.random()
+        return k

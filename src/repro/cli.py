@@ -1,0 +1,178 @@
+"""Command-line interface.
+
+::
+
+    python -m repro characterize            # Section II campaign
+    python -m repro montecarlo              # Figure 11 margin MC
+    python -m repro settings                # Table II settings
+    python -m repro node --suite hpcg       # one node, four designs
+    python -m repro hpc --nodes 256         # Figure 17-style system run
+    python -m repro suites                  # workload catalogue
+
+Each subcommand prints the same plain-text tables the benchmark
+targets save under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.reporting import format_bar_chart, format_table
+from .analysis.stats import histogram, mean, stdev
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from .characterization import ModulePopulation, measure_population
+    pop = ModulePopulation(seed=args.seed)
+    measured = measure_population(pop.modules)
+    abc = [measured[m.module_id].margin_mts for m in pop.major_brands()]
+    d = [measured[m.module_id].margin_mts for m in pop.by_brand("D")]
+    print(format_table(
+        ["population", "modules", "mean margin MT/s", "stdev"],
+        [["brands A-C", len(abc), mean(abc), stdev(abc)],
+         ["brand D", len(d), mean(d), stdev(d)]],
+        title="frequency margins ({} modules, {} chips)".format(
+            len(pop.modules), pop.total_chips())))
+    print()
+    print(format_bar_chart(
+        {"{:>5.0f} MT/s".format(k): v
+         for k, v in histogram(abc + d, 200).items()}, fmt="{:.0f}"))
+    return 0
+
+
+def _cmd_montecarlo(args: argparse.Namespace) -> int:
+    from .characterization import MarginMonteCarlo
+    mc = MarginMonteCarlo(seed=args.seed)
+    rows = []
+    for name, dist in (
+            ("channel (aware)", mc.channel_margins(args.trials, True)),
+            ("channel (unaware)", mc.channel_margins(args.trials, False)),
+            ("node (aware)", mc.node_margins(args.trials // 4, True)),
+            ("node (unaware)", mc.node_margins(args.trials // 4, False))):
+        rows.append([name, dist.fraction_at_least(800),
+                     dist.fraction_at_least(600)])
+    print(format_table(["population", ">= 0.8 GT/s", ">= 0.6 GT/s"],
+                       rows, title="Figure 11 Monte Carlo"))
+    return 0
+
+
+def _cmd_settings(args: argparse.Namespace) -> int:
+    from .dram.timing import TABLE2_SETTINGS
+    rows = [[name, t.data_rate_mts, t.tRCD_ns, t.tRP_ns, t.tRAS_ns,
+             t.tREFI_ns / 1000.0, "{:.1f}".format(t.peak_bandwidth_gbs)]
+            for name, t in TABLE2_SETTINGS.items()]
+    print(format_table(
+        ["setting", "MT/s", "tRCD", "tRP", "tRAS", "tREFI us", "GB/s"],
+        rows, title="Table II memory settings"))
+    return 0
+
+
+def _cmd_node(args: argparse.Namespace) -> int:
+    from .cache.hierarchy import HIERARCHIES
+    from .sim import NodeConfig, simulate_node
+    hierarchy = HIERARCHIES[args.hierarchy]()
+    results = {}
+    for design in ("baseline", "fmr", "hetero-dmr", "hetero-dmr+fmr"):
+        results[design] = simulate_node(NodeConfig(
+            suite=args.suite, hierarchy=hierarchy, design=design,
+            margin_mts=args.margin, memory_utilization=args.utilization,
+            refs_per_core=args.refs, seed=args.seed))
+    base = results["baseline"]
+    rows = [[d, base.time_ns / r.time_ns, r.ipc, r.bus_utilization,
+             r.write_share] for d, r in results.items()]
+    print(format_table(
+        ["design", "speedup", "IPC", "bus util", "write share"], rows,
+        title="{} on {} (margin {} MT/s, {:.0%} memory used)".format(
+            args.suite, args.hierarchy, args.margin, args.utilization)))
+    return 0
+
+
+def _cmd_hpc(args: argparse.Namespace) -> int:
+    from .hpc import (CONVENTIONAL_MODEL, Cluster, EasyBackfillScheduler,
+                      MarginAwareAllocationPolicy, PerformanceModel,
+                      SystemSimulator, TraceConfig, generate_trace)
+    jobs = generate_trace(TraceConfig(total_nodes=args.nodes,
+                                      job_count=args.jobs,
+                                      seed=args.seed))
+    conv = SystemSimulator(Cluster(args.nodes), EasyBackfillScheduler(),
+                           CONVENTIONAL_MODEL).run(jobs)
+    hdmr = SystemSimulator(
+        Cluster(args.nodes),
+        EasyBackfillScheduler(MarginAwareAllocationPolicy()),
+        PerformanceModel()).run(jobs)
+    rows = []
+    for name, r in (("conventional", conv), ("hetero-dmr", hdmr)):
+        rows.append([name, r.mean_execution_s(), r.mean_queue_delay_s(),
+                     r.mean_turnaround_s()])
+    print(format_table(
+        ["system", "mean exec s", "mean queue s", "mean turnaround s"],
+        rows, title="system-wide simulation ({} nodes, {} jobs)".format(
+            args.nodes, args.jobs)))
+    print("turnaround speedup: {:.3f}x".format(
+        conv.mean_turnaround_s() / hdmr.mean_turnaround_s()))
+    return 0
+
+
+def _cmd_suites(args: argparse.Namespace) -> int:
+    from .workloads import PROFILES
+    rows = [[p.name, p.footprint_bytes >> 20, p.stream_fraction,
+             p.write_fraction, p.dependent_fraction, p.mpi_fraction,
+             p.description]
+            for p in PROFILES.values()]
+    print(format_table(
+        ["suite", "MB", "stream", "writes", "dependent", "MPI",
+         "description"], rows, title="workload suites"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the ISCA'21 memory frequency "
+                    "margin / Hetero-DMR paper")
+    parser.add_argument("--seed", type=int, default=2021)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("characterize",
+                   help="run the Section II margin characterization")
+
+    mc = sub.add_parser("montecarlo", help="Figure 11 margin Monte Carlo")
+    mc.add_argument("--trials", type=int, default=20000)
+
+    sub.add_parser("settings", help="print the Table II settings")
+
+    node = sub.add_parser("node", help="simulate one node, four designs")
+    node.add_argument("--suite", default="linpack")
+    node.add_argument("--hierarchy", default="Hierarchy1",
+                      choices=("Hierarchy1", "Hierarchy2"))
+    node.add_argument("--margin", type=int, default=800)
+    node.add_argument("--utilization", type=float, default=0.2)
+    node.add_argument("--refs", type=int, default=3000)
+
+    hpc = sub.add_parser("hpc", help="system-wide Slurm-style simulation")
+    hpc.add_argument("--nodes", type=int, default=256)
+    hpc.add_argument("--jobs", type=int, default=3000)
+
+    sub.add_parser("suites", help="list the workload suites")
+    return parser
+
+
+_HANDLERS = {
+    "characterize": _cmd_characterize,
+    "montecarlo": _cmd_montecarlo,
+    "settings": _cmd_settings,
+    "node": _cmd_node,
+    "hpc": _cmd_hpc,
+    "suites": _cmd_suites,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":     # pragma: no cover
+    sys.exit(main())

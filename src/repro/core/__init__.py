@@ -1,0 +1,24 @@
+"""Hetero-DMR: the paper's primary contribution (Section III)."""
+
+from .config import (DUAL_COPY_UTILIZATION_LIMIT, EPOCH_HOURS,
+                     HeteroDMRConfig, REPLICATION_UTILIZATION_LIMIT,
+                     WRITE_BATCH_TARGET)
+from .epoch_guard import EpochGuard
+from .margin_selection import (NODE_MARGIN_BUCKETS, bucket_node_margin,
+                               channel_margin, choose_free_module,
+                               node_margin, snap_to_step)
+from .profiling import NodeMarginProfiler, NodeProfile
+from .policies import (BaselinePolicy, FmrPolicy, HeteroDMRPolicy,
+                       HeteroFmrPolicy, PlainBaselinePolicy)
+from .replication import (HeteroDMRManager, ReplicationError,
+                          ReplicationStats, UncorrectableError)
+
+__all__ = [
+    "BaselinePolicy", "DUAL_COPY_UTILIZATION_LIMIT", "EPOCH_HOURS",
+    "EpochGuard", "FmrPolicy", "HeteroDMRConfig", "HeteroDMRManager",
+    "HeteroDMRPolicy", "HeteroFmrPolicy", "NODE_MARGIN_BUCKETS", "NodeMarginProfiler", "NodeProfile",
+    "PlainBaselinePolicy", "REPLICATION_UTILIZATION_LIMIT",
+    "ReplicationError", "ReplicationStats", "UncorrectableError",
+    "WRITE_BATCH_TARGET", "bucket_node_margin", "channel_margin",
+    "choose_free_module", "node_margin", "snap_to_step",
+]

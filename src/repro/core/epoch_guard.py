@@ -1,0 +1,69 @@
+"""Epoch-based 8B+ error budget (Section III-B).
+
+Eight Reed-Solomon bytes used detect-only are *guaranteed* to catch
+errors touching up to eight bytes; wider (8B+) errors escape with
+probability 2^-64 per occurrence.  To bound mean time to SDC even
+under the unreal worst case where *every* access produces an 8B+
+error, Hetero-DMR counts detected errors per one-hour epoch and, past
+a threshold of ~2.1 million, slows memory to specification for the
+remainder of the epoch; the next epoch re-replicates and re-arms.
+
+With the threshold set to 2^64 / (10^9 years in hours), the worst-case
+mean time to SDC is one billion years — a one-over-one-million
+addition to the 1000-year server SDC budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ecc.policy import sdc_epoch_threshold
+from ..ecc.reed_solomon import undetected_error_probability
+
+NS_PER_HOUR = 3_600_000_000_000.0
+
+
+@dataclass
+class EpochGuard:
+    """Tracks detected errors per epoch and gates margin exploitation."""
+    epoch_hours: float = 1.0
+    threshold: int = field(default_factory=sdc_epoch_threshold)
+    errors_this_epoch: int = 0
+    total_errors: int = 0
+    tripped_epochs: int = 0
+    _epoch_start_ns: float = 0.0
+    _tripped: bool = False
+
+    @property
+    def epoch_ns(self) -> float:
+        return self.epoch_hours * NS_PER_HOUR
+
+    def _roll_epoch(self, now_ns: float) -> None:
+        epochs_elapsed = int((now_ns - self._epoch_start_ns) / self.epoch_ns)
+        if epochs_elapsed > 0:
+            self._epoch_start_ns += epochs_elapsed * self.epoch_ns
+            self.errors_this_epoch = 0
+            self._tripped = False
+
+    def record_error(self, now_ns: float, count: int = 1) -> None:
+        """Count ``count`` detected errors at time ``now_ns``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._roll_epoch(now_ns)
+        self.errors_this_epoch += count
+        self.total_errors += count
+        if not self._tripped and self.errors_this_epoch > self.threshold:
+            self._tripped = True
+            self.tripped_epochs += 1
+
+    def margin_allowed(self, now_ns: float) -> bool:
+        """May the system run faster than spec right now?"""
+        self._roll_epoch(now_ns)
+        return not self._tripped
+
+    def worst_case_mttsdc_years(self) -> float:
+        """Mean time to SDC if every epoch hits the threshold exactly:
+        threshold errors/hour, each escaping with probability 2^-64."""
+        escapes_per_hour = self.threshold * undetected_error_probability()
+        hours = 1.0 / escapes_per_hour
+        return hours / (24 * 365)

@@ -1,0 +1,69 @@
+"""Margin-aware module/channel/node selection (Section III-D).
+
+* Channel level: pick the module with the highest measured margin to
+  run fast; the channel-level margin is that module's margin.
+* Node level: channels interleave, so the node runs at the *lowest*
+  channel-level margin (the paper's Gem5 experiments show per-channel
+  heterogeneity performs like all-channels-at-slowest).
+* System level: a margin-aware job scheduler groups nodes into margin
+  classes (implemented in :mod:`repro.hpc.scheduler`).
+
+Margins are snapped down to the 200 MT/s measurement grid, and the
+paper buckets node margins at 0.8 / 0.6 / 0 GT/s for evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..dram.timing import DATA_RATE_STEP_MTS
+
+#: The paper's evaluation buckets for node-level margins (MT/s).
+NODE_MARGIN_BUCKETS = (800, 600, 0)
+
+
+def snap_to_step(margin_mts: float,
+                 step: int = DATA_RATE_STEP_MTS) -> int:
+    """Round a margin down to the BIOS-measurable 200 MT/s grid."""
+    if margin_mts < 0:
+        return 0
+    return int(margin_mts // step) * step
+
+
+def channel_margin(module_margins: Sequence[float],
+                   margin_aware: bool = True) -> int:
+    """Channel-level margin: best module's margin under margin-aware
+    selection; the first slot's under the unaware policy."""
+    margins = list(module_margins)
+    if not margins:
+        return 0
+    chosen = max(margins) if margin_aware else margins[0]
+    return snap_to_step(chosen)
+
+
+def node_margin(channel_margins: Sequence[float]) -> int:
+    """Node-level margin: the minimum across the node's channels."""
+    margins = list(channel_margins)
+    if not margins:
+        return 0
+    return snap_to_step(min(margins))
+
+
+def bucket_node_margin(margin_mts: int,
+                       buckets: Sequence[int] = NODE_MARGIN_BUCKETS) -> int:
+    """Snap a node margin down into the evaluation buckets."""
+    for b in sorted(buckets, reverse=True):
+        if margin_mts >= b:
+            return b
+    return 0
+
+
+def choose_free_module(module_margins: Sequence[float],
+                       margin_aware: bool = True) -> int:
+    """Index of the module to operate unsafely fast in a channel."""
+    margins = list(module_margins)
+    if not margins:
+        raise ValueError("channel has no modules")
+    if not margin_aware:
+        return 0
+    return max(range(len(margins)), key=lambda i: margins[i])

@@ -1,0 +1,84 @@
+"""Margin profiling (Section III-E, "Determining Margins").
+
+Hetero-DMR profiles a node's memory margins at boot and re-profiles
+periodically when the node is idle (borrowing from REAPER [65]).
+Crucially, profiling is needed only for *performance*: if the profile
+is stale — errors got worse than profiled because of limited profiling
+time or a temperature spike — the originals are still operated at
+specification, so correctness never depends on the profile.
+
+:class:`NodeMarginProfiler` runs the characterization testbench over a
+node's modules and derives the channel- and node-level margins the
+runtime should use, optionally de-rated by a guard band.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..characterization.modules import SyntheticModule
+from ..characterization.testbench import TestMachine
+from .margin_selection import (bucket_node_margin, channel_margin,
+                               node_margin, snap_to_step)
+
+
+@dataclass
+class NodeProfile:
+    """One profiling pass over a node's channels."""
+    per_module_margins: Dict[str, int]
+    channel_margins: List[int]
+    node_margin_mts: int
+    profiled_at_s: float
+
+    @property
+    def margin_bucket(self) -> int:
+        return bucket_node_margin(self.node_margin_mts)
+
+
+class NodeMarginProfiler:
+    """Boot-time / idle-time margin profiling for one node."""
+
+    def __init__(self, machine: Optional[TestMachine] = None,
+                 guard_band_mts: int = 0,
+                 reprofile_interval_s: float = 7 * 24 * 3600.0):
+        if guard_band_mts < 0:
+            raise ValueError("guard band must be non-negative")
+        self.machine = machine or TestMachine()
+        self.guard_band_mts = guard_band_mts
+        self.reprofile_interval_s = reprofile_interval_s
+        self.last_profile: Optional[NodeProfile] = None
+        self.profiles_run = 0
+
+    def profile(self, channels: Sequence[Sequence[SyntheticModule]],
+                now_s: Optional[float] = None) -> NodeProfile:
+        """Measure every module of every channel; the node margin is
+        the minimum over margin-aware channel margins, minus the guard
+        band (snapped back to the 200 MT/s grid)."""
+        per_module: Dict[str, int] = {}
+        ch_margins: List[int] = []
+        for modules in channels:
+            margins = []
+            for module in modules:
+                measured = self.machine.measure_margin(module)
+                per_module[module.module_id] = measured.margin_mts
+                margins.append(measured.margin_mts)
+            ch_margins.append(channel_margin(margins, margin_aware=True))
+        node = node_margin(ch_margins)
+        node = snap_to_step(max(0, node - self.guard_band_mts))
+        profile = NodeProfile(
+            per_module_margins=per_module,
+            channel_margins=ch_margins,
+            node_margin_mts=node,
+            profiled_at_s=now_s if now_s is not None else _time.time())
+        self.last_profile = profile
+        self.profiles_run += 1
+        return profile
+
+    def needs_reprofile(self, now_s: float) -> bool:
+        """Has the periodic idle re-profiling interval elapsed?"""
+        if self.last_profile is None:
+            return True
+        return (now_s - self.last_profile.profiled_at_s >=
+                self.reprofile_interval_s)

@@ -1,0 +1,7 @@
+"""Trace-driven core model (Table IV core parameters)."""
+
+from .core import Core, CoreStats, DEFAULT_MLP_LIMIT
+from .trace import COMPUTE_IPC, TraceRecord, instructions_of
+
+__all__ = ["COMPUTE_IPC", "Core", "CoreStats", "DEFAULT_MLP_LIMIT",
+           "TraceRecord", "instructions_of"]

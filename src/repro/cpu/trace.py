@@ -1,0 +1,38 @@
+"""Memory-reference trace records.
+
+The node simulator is trace-driven: each workload generator yields a
+stream of :class:`TraceRecord` items at L2-reference granularity (L1
+hits are folded into ``gap_cycles``, the compute time separating
+consecutive L2 references).
+
+``dependent`` marks references whose address depends on the previous
+load's value (pointer chasing); the core cannot issue them until all
+earlier misses return, which is what makes graph workloads
+latency-bound rather than bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+
+class TraceRecord(NamedTuple):
+    """One L2-level memory reference."""
+    address: int        # byte address
+    is_write: bool
+    gap_cycles: int     # compute cycles since the previous reference
+    dependent: bool     # address depends on the previous load
+
+
+#: Instructions retired per compute cycle between memory references;
+#: used to convert gap cycles into an instruction count for IPC/EPI.
+COMPUTE_IPC = 2.0
+
+
+def instructions_of(record: TraceRecord) -> float:
+    """Instruction count represented by one trace record: the memory
+    instruction itself plus the compute burst preceding it."""
+    return 1.0 + record.gap_cycles * COMPUTE_IPC
+
+
+TraceIterator = Iterator[TraceRecord]

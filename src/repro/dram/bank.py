@@ -1,0 +1,114 @@
+"""DRAM bank model: row-buffer state machine and timing bookkeeping.
+
+A bank tracks its open row plus the earliest future times at which an
+activate, a column command, or a precharge may legally be issued, given
+the timing parameters in force.  Time is kept in nanoseconds so the
+same bank works under any data rate and survives mid-run frequency
+changes (only the bus-clock-derived terms change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .timing import TimingParameters
+
+
+@dataclass
+class BankStats:
+    """Per-bank access statistics."""
+    activates: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.row_hits + self.row_misses + self.row_conflicts
+
+
+@dataclass
+class Bank:
+    """One DRAM bank.
+
+    ``open_row`` is None when the bank is precharged.  The ``*_ready``
+    fields hold the earliest nanosecond timestamps at which the next
+    command of each class may be issued.
+    """
+    index: int
+    open_row: Optional[int] = None
+    activate_ready_ns: float = 0.0
+    column_ready_ns: float = 0.0
+    precharge_ready_ns: float = 0.0
+    last_activate_ns: float = float("-inf")
+    last_access_ns: float = 0.0
+    stats: BankStats = field(default_factory=BankStats)
+
+    def classify(self, row: int) -> str:
+        """Classify an access: 'hit', 'closed' (bank precharged), or
+        'conflict' (different row open)."""
+        if self.open_row is None:
+            return "closed"
+        if self.open_row == row:
+            return "hit"
+        return "conflict"
+
+    def access(self, row: int, now_ns: float, timing: TimingParameters,
+               is_write: bool) -> float:
+        """Perform a read/write to ``row`` at the earliest legal time at
+        or after ``now_ns``; returns the time first data appears on the
+        bus.  Updates row-buffer state and timing horizons.
+        """
+        kind = self.classify(row)
+        t = now_ns
+        if kind == "conflict":
+            t = max(t, self.precharge_ready_ns)
+            t = self._precharge(t, timing)
+            kind = "closed"
+            self.stats.row_conflicts += 1
+        elif kind == "hit":
+            self.stats.row_hits += 1
+        else:
+            self.stats.row_misses += 1
+        if kind == "closed":
+            t = max(t, self.activate_ready_ns)
+            t = self._activate(row, t, timing)
+        issue = max(t, self.column_ready_ns)
+        data_at = issue + timing.tCAS_ns
+        self.column_ready_ns = issue + timing.tCCD_ns
+        if is_write:
+            # Write recovery gates the next precharge.
+            self.precharge_ready_ns = max(
+                self.precharge_ready_ns,
+                issue + timing.tCAS_ns + timing.burst_time_ns + timing.tWR_ns)
+        else:
+            self.precharge_ready_ns = max(
+                self.precharge_ready_ns, issue + timing.tRTP_ns)
+        self.last_access_ns = issue
+        return data_at
+
+    def close(self, now_ns: float, timing: TimingParameters) -> float:
+        """Precharge the bank (no-op when already closed); returns the
+        time at which the precharge completes."""
+        if self.open_row is None:
+            return now_ns
+        t = max(now_ns, self.precharge_ready_ns)
+        return self._precharge(t, timing)
+
+    def _activate(self, row: int, t: float,
+                  timing: TimingParameters) -> float:
+        self.open_row = row
+        self.last_activate_ns = t
+        self.stats.activates += 1
+        self.column_ready_ns = max(self.column_ready_ns, t + timing.tRCD_ns)
+        self.precharge_ready_ns = max(
+            self.precharge_ready_ns, t + timing.tRAS_ns)
+        # Same-bank activate-to-activate must respect tRC.
+        self.activate_ready_ns = t + timing.tRC_ns
+        return t + timing.tRCD_ns
+
+    def _precharge(self, t: float, timing: TimingParameters) -> float:
+        self.open_row = None
+        self.activate_ready_ns = max(self.activate_ready_ns, t + timing.tRP_ns)
+        return t + timing.tRP_ns

@@ -1,0 +1,187 @@
+"""Memory channel model.
+
+A channel bundles its installed modules, the shared command/data bus,
+the frequency state machine, and the pair of timing settings (safe =
+manufacturer specification, fast = spec + margin).  It also enforces
+the central Hetero-DMR safety invariant: a module holding original
+blocks may only be touched while the channel clock is in the SAFE
+state — any other access raises, because in real hardware it could
+corrupt the originals (Section III-A2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .frequency import FrequencyMachine, FrequencyState
+from .module import Module
+from .rank import Rank
+from .timing import TimingParameters, manufacturer_spec_3200
+
+
+class SafetyViolation(Exception):
+    """An original-holding module was accessed while the channel was not
+    operating at manufacturer specification."""
+
+
+#: Rank-to-rank switching bubble on the shared data bus, in bus clocks
+#: (DQS hand-off between ranks; the reason fewer ranks per channel can
+#: outperform more ranks for bus-bound workloads, cf. Figure 16).
+RANK_SWITCH_CLOCKS = 2.0
+
+
+@dataclass
+class ChannelStats:
+    """Per-channel access statistics."""
+    reads: int = 0
+    writes: int = 0
+    broadcast_writes: int = 0
+    bus_busy_ns: float = 0.0
+    rank_switches: int = 0
+
+
+@dataclass
+class Channel:
+    """One memory channel with its slots, bus, and clock."""
+    index: int = 0
+    modules: List[Module] = field(default_factory=list)
+    safe_timing: TimingParameters = field(
+        default_factory=manufacturer_spec_3200)
+    fast_timing: Optional[TimingParameters] = None
+    frequency: FrequencyMachine = field(default_factory=FrequencyMachine)
+    bus_free_ns: float = 0.0
+    stats: ChannelStats = field(default_factory=ChannelStats)
+    enforce_safety: bool = True
+
+    @property
+    def timing(self) -> TimingParameters:
+        """Timing in force for the channel's current clock state."""
+        if self.frequency.state is FrequencyState.FAST:
+            if self.fast_timing is None:
+                raise ValueError("channel has no fast timing configured")
+            return self.fast_timing
+        return self.safe_timing
+
+    # -- rank addressing ---------------------------------------------------------
+
+    _rank_cache: Optional[List[Tuple[Module, Rank]]] = None
+    _last_bus_rank: Optional[Rank] = None
+
+    def all_ranks(self) -> List[Tuple[Module, Rank]]:
+        """Flattened (module, rank) pairs across all slots.  Cached —
+        call :meth:`invalidate_rank_cache` after repopulating slots."""
+        if self._rank_cache is None:
+            self._rank_cache = [(m, r) for m in self.modules
+                                for r in m.ranks]
+        return self._rank_cache
+
+    def invalidate_rank_cache(self) -> None:
+        self._rank_cache = None
+
+    def rank_count(self) -> int:
+        return len(self.all_ranks())
+
+    def locate_rank(self, flat_rank: int) -> Tuple[Module, Rank]:
+        """Map a flat rank index to its (module, rank)."""
+        pairs = self.all_ranks()
+        if not 0 <= flat_rank < len(pairs):
+            raise IndexError("rank {} out of range".format(flat_rank))
+        return pairs[flat_rank]
+
+    # -- access paths -------------------------------------------------------------
+
+    def access(self, flat_rank: int, bank: int, row: int, now_ns: float,
+               is_write: bool, broadcast: bool = False) -> float:
+        """Issue a read/write; returns the time the data burst finishes.
+
+        A ``broadcast`` write drives every awake rank at the same flat
+        location in one bus transaction (FMR's write design reused by
+        Hetero-DMR, Section III-A); it costs one burst of bus time.
+        """
+        module, rank = self.locate_rank(flat_rank)
+        self._check_safety(module)
+        timing = self.timing
+        if broadcast:
+            if not is_write:
+                raise ValueError("only writes can be broadcast")
+            # The broadcast address field selects the same local rank
+            # and location in every awake module (Section III-A: "the
+            # original block and its copy must reside in the same
+            # location across different ranks in a channel").
+            local_rank = module.ranks.index(rank)
+            data_at = now_ns
+            for mod in self.modules:
+                if mod.in_self_refresh:
+                    continue
+                self._check_safety(mod)
+                rnk = mod.ranks[local_rank % len(mod.ranks)]
+                data_at = max(
+                    data_at, rnk.access(bank, row, now_ns, timing, True))
+            self.stats.broadcast_writes += 1
+        else:
+            data_at = rank.access(bank, row, now_ns, timing, is_write)
+        burst_start = max(data_at, self.bus_free_ns)
+        # Bursts from a different rank than the previous bus owner pay
+        # the rank-to-rank switching bubble.
+        if self._last_bus_rank is not None and \
+                self._last_bus_rank is not rank:
+            burst_start += RANK_SWITCH_CLOCKS * timing.tCK_ns
+            self.stats.rank_switches += 1
+        self._last_bus_rank = rank
+        finish = burst_start + timing.burst_time_ns
+        self.stats.bus_busy_ns += timing.burst_time_ns
+        self.bus_free_ns = finish
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        return finish
+
+    def _check_safety(self, module: Module) -> None:
+        if not self.enforce_safety:
+            return
+        unsafe = self.frequency.state is not FrequencyState.SAFE
+        if unsafe and not (module.holds_copies or module.in_self_refresh):
+            raise SafetyViolation(
+                "module {} holds originals but channel {} clock is {}"
+                .format(module.module_id, self.index,
+                        self.frequency.state.value))
+
+    # -- frequency control ----------------------------------------------------------
+
+    def to_safe(self, now_ns: float) -> float:
+        """Slow the channel to specification (Figure 9); wakes
+        original-holding modules from self-refresh afterwards."""
+        end = self.frequency.slow_down(max(now_ns, self.bus_free_ns))
+        for module in self.modules:
+            if module.in_self_refresh:
+                end = max(end, module.exit_self_refresh(end))
+        self.bus_free_ns = max(self.bus_free_ns, end)
+        return end
+
+    def to_fast(self, now_ns: float) -> float:
+        """Speed the channel past specification (Figure 10); puts every
+        module that does NOT hold copies into self-refresh first so its
+        contents stay safe."""
+        if self.fast_timing is None:
+            raise ValueError("channel has no fast timing configured")
+        t = max(now_ns, self.bus_free_ns)
+        for module in self.modules:
+            if not module.holds_copies:
+                t = max(t, module.enter_self_refresh(t))
+        end = self.frequency.speed_up(t)
+        self.bus_free_ns = max(self.bus_free_ns, end)
+        return end
+
+    # -- margins -----------------------------------------------------------------
+
+    def channel_margin_mts(self, margin_aware: bool = True) -> int:
+        """Channel-level frequency margin (Section III-D1): the margin
+        of the module chosen to run fast — the best module under
+        margin-aware selection, the first slot otherwise."""
+        if not self.modules:
+            return 0
+        if margin_aware:
+            return max(m.true_margin_mts for m in self.modules)
+        return self.modules[0].true_margin_mts

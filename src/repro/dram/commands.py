@@ -1,0 +1,55 @@
+"""DDR4 command vocabulary and legality rules.
+
+The command set is the subset a memory controller issues in steady
+state plus the self-refresh entry/exit and mode-register commands the
+Hetero-DMR frequency-transition protocol needs (Figures 9 and 10).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class CommandType(enum.Enum):
+    """DDR4 commands modelled by the simulator."""
+    ACTIVATE = "ACT"
+    PRECHARGE = "PRE"
+    READ = "RD"
+    WRITE = "WR"
+    REFRESH = "REF"
+    SELF_REFRESH_ENTER = "SRE"
+    SELF_REFRESH_EXIT = "SRX"
+    MODE_REGISTER_SET = "MRS"     # used to program new frequency/latency
+    ZQ_CALIBRATION = "ZQCS"       # resynchronize after a clock change
+    NOP = "NOP"
+
+
+#: Commands that carry data on the bus.
+DATA_COMMANDS = frozenset({CommandType.READ, CommandType.WRITE})
+
+#: Commands a module in self-refresh must ignore (it runs off its
+#: internal clock; see Section III-A2).
+IGNORED_IN_SELF_REFRESH = frozenset(
+    c for c in CommandType
+    if c not in {CommandType.SELF_REFRESH_EXIT, CommandType.NOP})
+
+
+@dataclass(frozen=True)
+class Command:
+    """A single command as placed on the channel's command bus."""
+    kind: CommandType
+    rank: int = 0
+    bank: int = 0
+    row: Optional[int] = None
+    column: Optional[int] = None
+    broadcast: bool = False   # broadcast writes hit all non-self-refresh ranks
+
+    def __post_init__(self) -> None:
+        if self.kind is CommandType.ACTIVATE and self.row is None:
+            raise ValueError("ACTIVATE requires a row")
+        if self.kind in DATA_COMMANDS and self.column is None:
+            raise ValueError("{} requires a column".format(self.kind.value))
+        if self.broadcast and self.kind is not CommandType.WRITE:
+            raise ValueError("only writes can be broadcast")

@@ -1,0 +1,107 @@
+"""DDR5 extension (Section III-F, "Generality").
+
+DDR5 was not yet on the market when the paper was written; its
+discussion predicts DDR5 frequency margins from two observations:
+
+* a 3200 MT/s DDR5 device runs the same clock as 3200 MT/s DDR4, so it
+  should have a similar absolute margin, and
+* the DDR5 JEDEC standard stipulates the *same eye width in unit
+  intervals* for every speed grade, and eye width (a timing margin) is
+  the dual of frequency margin — so the absolute margin of faster
+  grades should scale proportionally with their data rate.
+
+This module encodes that hypothesis: DDR5 timing presets (JEDEC speed
+grades with their standard-ish latencies, BL16, two independent
+subchannels per module) and a margin predictor anchored at the paper's
+measured 800 MT/s @ 3200 MT/s.  The node simulator can run these
+timings directly — Hetero-DMR itself is interface-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from ..core.margin_selection import snap_to_step
+from .timing import TimingParameters
+
+#: DDR5 burst length (BL16 on a 32-bit subchannel moves 64 bytes).
+DDR5_BURST_LENGTH = 16
+
+#: Independent subchannels per DDR5 module.
+DDR5_SUBCHANNELS = 2
+
+#: DDR5 chips per rank cap the paper cites ("DDR5 only supports up to
+#: 10 chips/rank") — the reason its experiments prefer 9-chips/rank
+#: DDR4 modules.
+DDR5_MAX_CHIPS_PER_RANK = 10
+
+#: The paper's measured anchor: 800 MT/s of margin at 3200 MT/s.
+_ANCHOR_RATE_MTS = 3200
+_ANCHOR_MARGIN_MTS = 800
+
+
+def ddr5_timing(data_rate_mts: int = 4800) -> TimingParameters:
+    """A DDR5 speed-grade timing set.
+
+    Core latencies stay near DDR4's analog values (tRCD/tRP ~ 16 ns at
+    JEDEC grades, tRAS 32 ns); the refresh interval uses the same
+    3.9 us tREFI1 of 16 Gb parts at normal temperature; tCCD and CL
+    ride the clock.  A BL16 burst on a 32-bit subchannel occupies
+    8 clocks — the same 64 bytes per burst as DDR4's BL8 on 64 bits,
+    so :class:`TimingParameters`'s burst math carries over with the
+    bus modelled per subchannel.
+    """
+    if data_rate_mts < 3200:
+        raise ValueError("DDR5 grades start at 3200 MT/s")
+    base = TimingParameters(
+        data_rate_mts=data_rate_mts,
+        tRCD_ns=16.0, tRP_ns=16.0, tRAS_ns=32.0,
+        tREFI_ns=3900.0, tRFC_ns=295.0,
+        tCAS_ns=16.0 * 3200 / data_rate_mts * (data_rate_mts / 3200),
+        tWR_ns=30.0, tWTR_ns=10.0, tRTP_ns=7.5,
+        tRRD_ns=5.0, tFAW_ns=13.333, tCCD_ns=5.0)
+    # CL in ns is roughly constant across grades at JEDEC settings
+    # (~16 ns); express it through the clock so frequency-margin
+    # scaling behaves exactly as in DDR4.
+    return replace(base, tCAS_ns=16.0)
+
+
+#: Standard DDR5 speed grades.
+DDR5_GRADES = (3200, 4000, 4800, 5600, 6400)
+
+
+def ddr5_timings() -> Dict[int, TimingParameters]:
+    """All standard grades keyed by data rate."""
+    return {rate: ddr5_timing(rate) for rate in DDR5_GRADES}
+
+
+def predicted_margin_mts(spec_rate_mts: int) -> int:
+    """The Section III-F margin hypothesis.
+
+    At 3200 MT/s, DDR5 should match DDR4's measured 800 MT/s margin;
+    faster grades keep the same eye width in unit intervals, so the
+    absolute margin grows proportionally: margin = 800 * rate / 3200,
+    snapped to the 200 MT/s measurement grid.
+    """
+    if spec_rate_mts <= 0:
+        raise ValueError("spec rate must be positive")
+    return snap_to_step(
+        _ANCHOR_MARGIN_MTS * spec_rate_mts / _ANCHOR_RATE_MTS)
+
+
+def ddr5_fast_timing(spec_rate_mts: int = 4800,
+                     use_latency_margin: bool = False
+                     ) -> TimingParameters:
+    """The unsafely fast setting a DDR5 Hetero-DMR deployment would
+    run its copies at, under the predicted margin."""
+    timing = ddr5_timing(spec_rate_mts).at_data_rate(
+        spec_rate_mts + predicted_margin_mts(spec_rate_mts))
+    if use_latency_margin:
+        # Reuse the DDR4-measured conservative latency margins; the
+        # analog arrays are the same technology.
+        timing = replace(timing, tRCD_ns=timing.tRCD_ns * 0.84,
+                         tRP_ns=timing.tRP_ns * 0.84,
+                         tRAS_ns=timing.tRAS_ns * 0.91,
+                         tREFI_ns=timing.tREFI_ns * 1.92)
+    return timing

@@ -1,0 +1,107 @@
+"""Channel frequency-scaling state machine (Figures 9 and 10).
+
+Hetero-DMR switches a channel between a *safe* state (manufacturer
+specification; used for write mode and for error correction) and an
+*unsafely fast* state (spec + margin; used for read mode).  Each switch
+walks through JEDEC-compliant transition steps:
+
+decreasing (Fig 9):  FAST -> PREPARE (drain, precharge all, modules to
+self-refresh or idle) -> CHANGE (stop clock, program new frequency) ->
+SYNC (restart clock, DLL relock, ZQ calibration) -> SAFE
+
+increasing (Fig 10): SAFE -> PREPARE -> CHANGE -> SYNC -> FAST
+
+The paper charges 1 us for the whole walk; we default to that and
+split it across the three transition steps.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+#: Total latency of one frequency transition (Section III-A1).
+TRANSITION_NS = 1000.0
+
+#: How the 1 us is apportioned across the three transition steps.
+_STEP_FRACTIONS = (0.2, 0.3, 0.5)   # prepare, change, sync
+
+
+class FrequencyState(enum.Enum):
+    """States of the channel clock."""
+    SAFE = "safe"                   # at manufacturer specification
+    FAST = "fast"                   # spec + margin (unsafely fast)
+    PREPARE = "prepare"             # quiescing the channel
+    CHANGE = "change"               # clock stopped, MRS reprogramming
+    SYNC = "sync"                   # DLL relock + ZQ calibration
+
+
+class IllegalTransition(Exception):
+    """Raised when a transition is requested from a transient state."""
+
+
+@dataclass
+class TransitionRecord:
+    """One completed frequency transition, for auditing/tests."""
+    start_ns: float
+    end_ns: float
+    from_state: FrequencyState
+    to_state: FrequencyState
+    steps: Tuple[Tuple[FrequencyState, float], ...]
+
+
+@dataclass
+class FrequencyMachine:
+    """Tracks a channel's clock state and performs timed transitions."""
+    state: FrequencyState = FrequencyState.SAFE
+    transition_ns: float = TRANSITION_NS
+    history: List[TransitionRecord] = field(default_factory=list)
+    transitions_to_fast: int = 0
+    transitions_to_safe: int = 0
+
+    def is_stable(self) -> bool:
+        return self.state in (FrequencyState.SAFE, FrequencyState.FAST)
+
+    def slow_down(self, now_ns: float) -> float:
+        """FAST -> SAFE walk (Figure 9); returns completion time.
+        A no-op when already SAFE."""
+        if self.state is FrequencyState.SAFE:
+            return now_ns
+        end = self._walk(now_ns, FrequencyState.FAST, FrequencyState.SAFE)
+        self.transitions_to_safe += 1
+        return end
+
+    def speed_up(self, now_ns: float) -> float:
+        """SAFE -> FAST walk (Figure 10); returns completion time.
+        A no-op when already FAST."""
+        if self.state is FrequencyState.FAST:
+            return now_ns
+        end = self._walk(now_ns, FrequencyState.SAFE, FrequencyState.FAST)
+        self.transitions_to_fast += 1
+        return end
+
+    def _walk(self, now_ns: float, expect: FrequencyState,
+              target: FrequencyState) -> float:
+        if self.state is not expect:
+            raise IllegalTransition(
+                "cannot transition from {} (expected {})".format(
+                    self.state.value, expect.value))
+        t = now_ns
+        steps = []
+        for frac, state in zip(
+                _STEP_FRACTIONS,
+                (FrequencyState.PREPARE, FrequencyState.CHANGE,
+                 FrequencyState.SYNC)):
+            self.state = state
+            t += frac * self.transition_ns
+            steps.append((state, t))
+        self.state = target
+        self.history.append(TransitionRecord(
+            start_ns=now_ns, end_ns=t, from_state=expect, to_state=target,
+            steps=tuple(steps)))
+        return t
+
+    @property
+    def total_transition_time_ns(self) -> float:
+        return sum(rec.end_ns - rec.start_ns for rec in self.history)

@@ -1,0 +1,202 @@
+"""JEDEC command-protocol checker.
+
+An independent auditor for DRAM command streams: it re-derives the
+legality of every command from the raw timing rules, with no knowledge
+of the bank/rank models' internal bookkeeping.  The simulator's tests
+replay recorded command streams through the checker to prove that the
+controller — including Hetero-DMR's mode switches — never violates the
+standard, and that commands other than self-refresh-exit are never
+addressed to a rank in self-refresh.
+
+Checked rules (per rank unless noted):
+
+=========  ==================================================-
+tRCD       ACTIVATE -> READ/WRITE to the same bank
+tRP        PRECHARGE -> ACTIVATE to the same bank
+tRAS       ACTIVATE -> PRECHARGE to the same bank
+tRC        ACTIVATE -> ACTIVATE to the same bank
+tRRD       ACTIVATE -> ACTIVATE across banks
+tFAW       at most four ACTIVATEs per rolling window
+tCCD       column command -> column command (same bank)
+tRFC       REFRESH -> any command
+open row   READ/WRITE require the addressed row to be open
+SR         only SRX may address a self-refreshing rank
+=========  ==================================================-
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from .commands import Command, CommandType
+from .timing import TimingParameters
+
+
+class ProtocolViolation(Exception):
+    """A command stream broke a JEDEC timing or state rule."""
+
+
+@dataclass
+class TimedCommand:
+    """A command with its issue time (ns) and target rank."""
+    time_ns: float
+    rank: int
+    command: Command
+
+
+@dataclass
+class _BankState:
+    open_row: Optional[int] = None
+    last_activate: float = float("-inf")
+    last_precharge: float = float("-inf")
+    last_column: float = float("-inf")
+
+
+@dataclass
+class _RankState:
+    banks: Dict[int, _BankState] = field(default_factory=dict)
+    activate_window: Deque[float] = field(default_factory=deque)
+    last_activate: float = float("-inf")
+    refresh_until: float = float("-inf")
+    in_self_refresh: bool = False
+
+    def bank(self, index: int) -> _BankState:
+        return self.banks.setdefault(index, _BankState())
+
+
+class ProtocolChecker:
+    """Validates a time-ordered command stream against the timing set
+    in force.  ``check`` raises :class:`ProtocolViolation` with a
+    description of the first broken rule."""
+
+    def __init__(self, timing: TimingParameters,
+                 tolerance_ns: float = 1e-6):
+        self.timing = timing
+        self.tolerance_ns = tolerance_ns
+        self._ranks: Dict[int, _RankState] = {}
+        self._last_time = float("-inf")
+        self.commands_checked = 0
+
+    def _rank(self, index: int) -> _RankState:
+        return self._ranks.setdefault(index, _RankState())
+
+    def set_timing(self, timing: TimingParameters) -> None:
+        """Frequency change: subsequent commands obey the new set."""
+        self.timing = timing
+
+    # -- main entry ----------------------------------------------------------------
+
+    def check(self, cmd: TimedCommand) -> None:
+        """Validate one command and update the audit state."""
+        t = self.timing
+        if cmd.time_ns < self._last_time - self.tolerance_ns:
+            raise ProtocolViolation(
+                "command stream not time-ordered at {:.2f} ns".format(
+                    cmd.time_ns))
+        self._last_time = max(self._last_time, cmd.time_ns)
+        rank = self._rank(cmd.rank)
+        kind = cmd.command.kind
+        if rank.in_self_refresh and \
+                kind is not CommandType.SELF_REFRESH_EXIT:
+            raise ProtocolViolation(
+                "{} addressed to rank {} in self-refresh".format(
+                    kind.value, cmd.rank))
+        if cmd.time_ns < rank.refresh_until - self.tolerance_ns and \
+                kind not in (CommandType.SELF_REFRESH_ENTER,
+                             CommandType.NOP):
+            raise ProtocolViolation(
+                "{} during tRFC window of rank {}".format(
+                    kind.value, cmd.rank))
+        handler = {
+            CommandType.ACTIVATE: self._check_activate,
+            CommandType.PRECHARGE: self._check_precharge,
+            CommandType.READ: self._check_column,
+            CommandType.WRITE: self._check_column,
+            CommandType.REFRESH: self._check_refresh,
+            CommandType.SELF_REFRESH_ENTER: self._check_sre,
+            CommandType.SELF_REFRESH_EXIT: self._check_srx,
+        }.get(kind)
+        if handler is not None:
+            handler(cmd, rank)
+        self.commands_checked += 1
+
+    def check_stream(self, stream: List[TimedCommand]) -> int:
+        """Validate a whole stream; returns the number checked."""
+        for cmd in stream:
+            self.check(cmd)
+        return self.commands_checked
+
+    # -- per-command rules -----------------------------------------------------------
+
+    def _check_activate(self, cmd: TimedCommand, rank: _RankState) -> None:
+        t, now = self.timing, cmd.time_ns
+        bank = rank.bank(cmd.command.bank)
+        if bank.open_row is not None:
+            raise ProtocolViolation(
+                "ACT to open bank {} (row {} still open)".format(
+                    cmd.command.bank, bank.open_row))
+        self._require(now - bank.last_precharge, t.tRP_ns, "tRP", cmd)
+        self._require(now - bank.last_activate, t.tRC_ns, "tRC", cmd)
+        self._require(now - rank.last_activate, t.tRRD_ns, "tRRD", cmd)
+        while rank.activate_window and \
+                rank.activate_window[0] <= now - t.tFAW_ns:
+            rank.activate_window.popleft()
+        if len(rank.activate_window) >= 4:
+            raise ProtocolViolation(
+                "fifth ACT within tFAW at {:.2f} ns".format(now))
+        rank.activate_window.append(now)
+        rank.last_activate = now
+        bank.last_activate = now
+        bank.open_row = cmd.command.row
+
+    def _check_precharge(self, cmd: TimedCommand,
+                         rank: _RankState) -> None:
+        t, now = self.timing, cmd.time_ns
+        bank = rank.bank(cmd.command.bank)
+        if bank.open_row is not None:
+            self._require(now - bank.last_activate, t.tRAS_ns, "tRAS",
+                          cmd)
+        bank.open_row = None
+        bank.last_precharge = now
+
+    def _check_column(self, cmd: TimedCommand, rank: _RankState) -> None:
+        t, now = self.timing, cmd.time_ns
+        bank = rank.bank(cmd.command.bank)
+        if bank.open_row is None:
+            raise ProtocolViolation(
+                "{} to precharged bank {}".format(
+                    cmd.command.kind.value, cmd.command.bank))
+        self._require(now - bank.last_activate, t.tRCD_ns, "tRCD", cmd)
+        self._require(now - bank.last_column, t.tCCD_ns, "tCCD", cmd)
+        bank.last_column = now
+
+    def _check_refresh(self, cmd: TimedCommand, rank: _RankState) -> None:
+        for bank in rank.banks.values():
+            if bank.open_row is not None:
+                raise ProtocolViolation(
+                    "REF with bank open at {:.2f} ns".format(cmd.time_ns))
+        rank.refresh_until = cmd.time_ns + self.timing.tRFC_ns
+
+    def _check_sre(self, cmd: TimedCommand, rank: _RankState) -> None:
+        for bank in rank.banks.values():
+            if bank.open_row is not None:
+                raise ProtocolViolation("SRE with a bank open")
+        rank.in_self_refresh = True
+
+    def _check_srx(self, cmd: TimedCommand, rank: _RankState) -> None:
+        if not rank.in_self_refresh:
+            raise ProtocolViolation("SRX to a rank not in self-refresh")
+        rank.in_self_refresh = False
+        # Exit latency behaves like a refresh window.
+        rank.refresh_until = cmd.time_ns + self.timing.tRFC_ns
+
+    def _require(self, elapsed: float, minimum: float, rule: str,
+                 cmd: TimedCommand) -> None:
+        if elapsed < minimum - self.tolerance_ns:
+            raise ProtocolViolation(
+                "{} violated at {:.2f} ns: {:.2f} < {:.2f} ns "
+                "(rank {}, bank {})".format(
+                    rule, cmd.time_ns, elapsed, minimum, cmd.rank,
+                    cmd.command.bank))

@@ -1,0 +1,137 @@
+"""Bamboo-ECC memory-block codec (Section III-B).
+
+Server memory blocks are 64 data bytes plus 8 ECC bytes stored in the
+module's dedicated ECC chips.  Following the paper, we:
+
+* compute all eight Reed-Solomon check bytes over the *whole* 64-byte
+  block (Bamboo-ECC [58]), rather than byte-sliced SEC-DED, and
+* fold the block's memory address into the code ("Hetero-DMR also
+  detects all address bus errors by using the address of a block and
+  all data in the block to compute the ECC for the block" [72]).
+
+The address participates as extra *virtual* message symbols of a
+shortened RS code: both the writer and the checker know the address
+they intended, prepend its bytes to the data, and compute/verify parity
+over the combined message.  The virtual symbols are never stored, so
+the on-DIMM layout stays 64 + 8 bytes, and an address-bus error makes
+the reader check data fetched from location B against the parity of
+location A, which the code flags as corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .reed_solomon import DecodeFailure, ReedSolomon
+
+#: Data bytes per memory block (one cache line).
+BLOCK_DATA_BYTES = 64
+
+#: ECC bytes per memory block (one x8 ECC chip worth per burst).
+BLOCK_ECC_BYTES = 8
+
+#: Bytes of the block address folded into the codeword.
+ADDRESS_BYTES = 6
+
+
+@dataclass(frozen=True)
+class CodedBlock:
+    """A 72-byte unit as stored in DRAM: 64 data bytes + 8 ECC bytes."""
+    data: Tuple[int, ...]
+    ecc: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.data) != BLOCK_DATA_BYTES:
+            raise ValueError("block data must be 64 bytes")
+        if len(self.ecc) != BLOCK_ECC_BYTES:
+            raise ValueError("block ECC must be 8 bytes")
+
+    def stored_bytes(self) -> List[int]:
+        """All 72 bytes as laid out in the module (data then ECC)."""
+        return list(self.data) + list(self.ecc)
+
+    def with_stored_bytes(self, raw: Sequence[int]) -> "CodedBlock":
+        """Rebuild a block from (possibly corrupted) raw storage bytes."""
+        if len(raw) != BLOCK_DATA_BYTES + BLOCK_ECC_BYTES:
+            raise ValueError("stored block must be 72 bytes")
+        return CodedBlock(tuple(raw[:BLOCK_DATA_BYTES]),
+                          tuple(raw[BLOCK_DATA_BYTES:]))
+
+
+class BambooCodec:
+    """Encoder/decoder for address-inclusive Bamboo-ECC blocks."""
+
+    def __init__(self, include_address: bool = True):
+        self.include_address = include_address
+        message_len = BLOCK_DATA_BYTES + (
+            ADDRESS_BYTES if include_address else 0)
+        self._rs = ReedSolomon(message_len, BLOCK_ECC_BYTES)
+
+    # -- encode -------------------------------------------------------------
+
+    def encode(self, data: Sequence[int], address: int = 0) -> CodedBlock:
+        """Encode 64 data bytes (and the block address) into a block."""
+        if len(data) != BLOCK_DATA_BYTES:
+            raise ValueError("data must be 64 bytes")
+        message = self._message(data, address)
+        parity = self._rs.parity_of(message)
+        return CodedBlock(tuple(data), tuple(parity))
+
+    # -- detect-only decode (used on copies) ---------------------------------
+
+    def check(self, block: CodedBlock, address: int = 0) -> bool:
+        """Detect-only decode: return True when the block is clean.
+
+        Stops after syndrome computation — never attempts correction, so
+        it cannot miscorrect regardless of how many bytes are bad.
+        """
+        codeword = self._codeword(block, address)
+        return not self._rs.detect(codeword)
+
+    # -- detect-and-correct decode (used on originals) ------------------------
+
+    def correct(self, block: CodedBlock,
+                address: int = 0) -> Tuple[CodedBlock, List[int]]:
+        """Conventional decode: detect and correct up to 4 bad bytes.
+
+        Returns ``(repaired_block, corrected_byte_offsets)`` where the
+        offsets index the 72 stored bytes.  Raises
+        :class:`~repro.ecc.reed_solomon.DecodeFailure` on uncorrectable
+        (but detected) errors, and raises it as well if the decoder
+        claims a correction inside the virtual address symbols, which
+        cannot be erroneous in storage and therefore signals an
+        address-bus error or a miscorrection.
+        """
+        codeword = self._codeword(block, address)
+        result = self._rs.decode(codeword)
+        prefix = ADDRESS_BYTES if self.include_address else 0
+        if any(p < prefix for p in result.error_positions):
+            raise DecodeFailure(
+                "correction landed in virtual address symbols")
+        repaired = result.corrected[prefix:]
+        parity = codeword[len(codeword) - BLOCK_ECC_BYTES:]
+        if result.detected:
+            # Recompute parity from the repaired message so the stored
+            # ECC bytes are also clean after the fix.
+            parity = self._rs.parity_of(result.corrected)
+        stored_positions = [p - prefix for p in result.error_positions]
+        return (CodedBlock(tuple(repaired), tuple(parity)),
+                stored_positions)
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def address_bytes(address: int) -> List[int]:
+        """Little-endian 6-byte encoding of a block address."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        return [(address >> (8 * i)) & 0xFF for i in range(ADDRESS_BYTES)]
+
+    def _message(self, data: Sequence[int], address: int) -> List[int]:
+        if self.include_address:
+            return self.address_bytes(address) + list(data)
+        return list(data)
+
+    def _codeword(self, block: CodedBlock, address: int) -> List[int]:
+        return (self._message(block.data, address) + list(block.ecc))

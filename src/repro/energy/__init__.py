@@ -1,0 +1,6 @@
+"""System-level energy models (CPU + DRAM -> EPI, Figure 13)."""
+
+from .cpu_power import CpuPowerParams
+from .epi import EpiBreakdown, node_epi, normalized_epi
+
+__all__ = ["CpuPowerParams", "EpiBreakdown", "node_epi", "normalized_epi"]

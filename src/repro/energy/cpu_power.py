@@ -1,0 +1,31 @@
+"""CPU power model for the system-level EPI analysis (Figure 13).
+
+The paper's energy argument: "CPU idle power dominates dynamic power;
+Hetero-DMR improves CPU idle energy by improving performance, which
+outweighs the energy overheads of extra writes", and memory has shrunk
+to ~18% of system power (Barroso et al., 2018).  A simple two-term
+model captures that: a static/idle power proportional to the core
+count plus a dynamic energy per instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuPowerParams:
+    """Per-core power parameters (Xeon W-3175X class: 255 W / 28 cores
+    with roughly 60/40 static-vs-peak-dynamic split)."""
+    static_w_per_core: float = 5.5
+    dynamic_nj_per_instruction: float = 0.9
+    uncore_w: float = 18.0
+
+    def energy_joules(self, cores: int, time_s: float,
+                      instructions: float) -> float:
+        """Total CPU energy over an interval."""
+        if time_s < 0 or instructions < 0:
+            raise ValueError("time and instructions must be non-negative")
+        static = (self.static_w_per_core * cores + self.uncore_w) * time_s
+        dynamic = self.dynamic_nj_per_instruction * instructions * 1e-9
+        return static + dynamic

@@ -1,0 +1,66 @@
+"""Fault injector driving error patterns into stored blocks.
+
+Bridges :mod:`repro.errors.models` (what corruption looks like) and
+:mod:`repro.errors.rates` (how often it strikes) into the functional
+Hetero-DMR datapath, for both targeted injection (tests pick an
+address and a pattern) and rate-driven campaigns (a Bernoulli draw per
+access).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.replication import HeteroDMRManager
+from .models import ERROR_PATTERNS
+
+
+@dataclass
+class InjectionStats:
+    injected: int = 0
+    by_pattern: Dict[str, int] = field(default_factory=dict)
+
+
+class ErrorInjector:
+    """Injects corruption into a Hetero-DMR manager's stored blocks."""
+
+    def __init__(self, manager: HeteroDMRManager, seed: int = 31,
+                 patterns: Optional[Sequence[str]] = None):
+        self.manager = manager
+        self._rng = random.Random(seed)
+        names = list(patterns) if patterns else list(ERROR_PATTERNS)
+        unknown = [n for n in names if n not in ERROR_PATTERNS]
+        if unknown:
+            raise ValueError("unknown patterns: {}".format(unknown))
+        self.pattern_names = names
+        self.stats = InjectionStats()
+
+    def corrupt_copy(self, address: int,
+                     pattern: Optional[str] = None) -> str:
+        """Apply one (random or named) pattern to the copy at
+        ``address``; returns the pattern used."""
+        name = pattern or self._rng.choice(self.pattern_names)
+        free = self.manager.channel.modules[self.manager.free_module_index]
+        block = free.read_block(address)
+        if block is None:
+            raise KeyError("no copy stored at {:#x}".format(address))
+        raw = ERROR_PATTERNS[name](block.stored_bytes(), self._rng)
+        self.manager.corrupt_copy(address, raw)
+        self.stats.injected += 1
+        self.stats.by_pattern[name] = self.stats.by_pattern.get(name, 0) + 1
+        return name
+
+    def campaign(self, addresses: Sequence[int],
+                 probability: float) -> List[int]:
+        """Bernoulli-corrupt each address's copy with ``probability``;
+        returns the corrupted addresses."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        hit = []
+        for addr in addresses:
+            if self._rng.random() < probability:
+                self.corrupt_copy(addr)
+                hit.append(addr)
+        return hit

@@ -1,0 +1,88 @@
+"""Error-pattern models for out-of-spec memory operation (Section III).
+
+When memory runs faster than specification, "many kinds of errors
+could happen (e.g., full block errors due to IO errors or losing all
+blocks due to misinterpreting a command as a DRAM reset command)".
+These functions produce corrupted 72-byte stored-block images from a
+clean one; the reliability tests drive them through the Hetero-DMR
+datapath to check that NO pattern — however wide — ever propagates to
+the consumer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Sequence
+
+STORED_BYTES = 72
+
+
+def _check(raw: Sequence[int]) -> List[int]:
+    if len(raw) != STORED_BYTES:
+        raise ValueError("stored block must be 72 bytes")
+    return list(raw)
+
+
+def single_bit_flip(raw: Sequence[int], rng: random.Random) -> List[int]:
+    """Classic single-bit upset anywhere in the stored block."""
+    out = _check(raw)
+    pos = rng.randrange(STORED_BYTES)
+    out[pos] ^= 1 << rng.randrange(8)
+    return out
+
+
+def multi_byte_burst(raw: Sequence[int], rng: random.Random,
+                     max_bytes: int = 8) -> List[int]:
+    """A contiguous burst of up to ``max_bytes`` corrupted bytes — the
+    signature of a single-pin or single-chip timing failure."""
+    out = _check(raw)
+    length = rng.randrange(1, max_bytes + 1)
+    start = rng.randrange(STORED_BYTES - length + 1)
+    for i in range(start, start + length):
+        out[i] ^= rng.randrange(1, 256)
+    return out
+
+
+def chip_failure(raw: Sequence[int], rng: random.Random) -> List[int]:
+    """All bytes contributed by one x8 chip go bad (every 9th byte in
+    the canonical Bamboo layout)."""
+    out = _check(raw)
+    chip = rng.randrange(9)
+    for i in range(chip, STORED_BYTES, 9):
+        out[i] ^= rng.randrange(1, 256)
+    return out
+
+
+def full_block_error(raw: Sequence[int], rng: random.Random) -> List[int]:
+    """An I/O error replaces the whole block (an 8B+ error)."""
+    return [rng.randrange(256) for _ in range(STORED_BYTES)]
+
+
+def stuck_at_zero(raw: Sequence[int], rng: random.Random) -> List[int]:
+    """The block reads back all-zero (e.g., a misinterpreted command
+    reset the device).  Note an all-zero *message* is still a valid
+    codeword of a linear code, but the address folded into the ECC
+    makes a zeroed stored block detectable."""
+    return [0] * STORED_BYTES
+
+
+def row_corruption(raw: Sequence[int], rng: random.Random) -> List[int]:
+    """Aggressive-precharge-style corruption: a wide smear across the
+    block (prior work reports tRP violations can corrupt entire rows)."""
+    out = _check(raw)
+    for i in range(STORED_BYTES):
+        if rng.random() < 0.5:
+            out[i] ^= rng.randrange(1, 256)
+    return out
+
+
+#: All patterns, keyed by name — the fault-injection tests sweep these.
+ERROR_PATTERNS: Dict[str, Callable[[Sequence[int], random.Random],
+                                   List[int]]] = {
+    "single_bit_flip": single_bit_flip,
+    "multi_byte_burst": multi_byte_burst,
+    "chip_failure": chip_failure,
+    "full_block_error": full_block_error,
+    "stuck_at_zero": stuck_at_zero,
+    "row_corruption": row_corruption,
+}

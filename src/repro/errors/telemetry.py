@@ -1,0 +1,130 @@
+"""RAS telemetry: EDAC-style error accounting for margin-exploiting
+systems.
+
+Production HPC fleets decide whether margin exploitation is safe from
+their error telemetry (the paper's Figure 6 is exactly such telemetry,
+gathered offline).  This module provides the runtime half: per-module
+CE/UE counters with rate windows, a fleet-level roll-up, and a simple
+advisor that recommends demoting a module's margin when its corrected-
+error rate exceeds a threshold — the operational complement to the
+epoch guard (which bounds SDC risk, not CE noise).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+NS_PER_HOUR = 3_600_000_000_000.0
+
+
+@dataclass
+class ErrorRecord:
+    """One logged memory error."""
+    time_ns: float
+    module_id: str
+    address: int
+    corrected: bool
+
+
+class ModuleErrorLog:
+    """Sliding-window CE/UE counters for one module."""
+
+    def __init__(self, module_id: str,
+                 window_ns: float = NS_PER_HOUR):
+        if window_ns <= 0:
+            raise ValueError("window must be positive")
+        self.module_id = module_id
+        self.window_ns = window_ns
+        self._events: Deque[ErrorRecord] = deque()
+        self.total_ce = 0
+        self.total_ue = 0
+
+    def record(self, time_ns: float, address: int,
+               corrected: bool) -> None:
+        self._events.append(ErrorRecord(time_ns, self.module_id,
+                                        address, corrected))
+        if corrected:
+            self.total_ce += 1
+        else:
+            self.total_ue += 1
+        self._trim(time_ns)
+
+    def _trim(self, now_ns: float) -> None:
+        horizon = now_ns - self.window_ns
+        while self._events and self._events[0].time_ns < horizon:
+            self._events.popleft()
+
+    def rate_per_hour(self, now_ns: float,
+                      corrected: Optional[bool] = None) -> float:
+        """Errors per hour over the sliding window ending at now."""
+        self._trim(now_ns)
+        events = [e for e in self._events
+                  if corrected is None or e.corrected == corrected]
+        return len(events) * (NS_PER_HOUR / self.window_ns)
+
+    def repeat_addresses(self, min_count: int = 2) -> List[int]:
+        """Addresses seen multiple times in the window — the signature
+        of a permanent fault (Section III-E's remap trigger)."""
+        counts: Dict[int, int] = {}
+        for e in self._events:
+            counts[e.address] = counts.get(e.address, 0) + 1
+        return sorted(a for a, c in counts.items() if c >= min_count)
+
+
+@dataclass(frozen=True)
+class MarginAdvice:
+    """The advisor's recommendation for one module."""
+    module_id: str
+    action: str                 # 'keep' | 'demote' | 'disable'
+    ce_rate_per_hour: float
+    ue_rate_per_hour: float
+    reason: str
+
+
+class MarginAdvisor:
+    """Watches module logs and recommends margin demotion.
+
+    Policy: any UE in the window disables margin exploitation for the
+    module (UEs at the fast setting mean detection fired on originals
+    or copies could not be served); a CE rate above ``demote_ce_rate``
+    recommends stepping the margin down 200 MT/s.  Correctness never
+    depends on this advice — it only tunes the performance/transition-
+    frequency trade-off.
+    """
+
+    def __init__(self, demote_ce_rate: float = 1000.0):
+        if demote_ce_rate <= 0:
+            raise ValueError("demote_ce_rate must be positive")
+        self.demote_ce_rate = demote_ce_rate
+        self.logs: Dict[str, ModuleErrorLog] = {}
+
+    def log_for(self, module_id: str) -> ModuleErrorLog:
+        if module_id not in self.logs:
+            self.logs[module_id] = ModuleErrorLog(module_id)
+        return self.logs[module_id]
+
+    def record(self, time_ns: float, module_id: str, address: int,
+               corrected: bool) -> None:
+        self.log_for(module_id).record(time_ns, address, corrected)
+
+    def advise(self, module_id: str, now_ns: float) -> MarginAdvice:
+        log = self.log_for(module_id)
+        ce = log.rate_per_hour(now_ns, corrected=True)
+        ue = log.rate_per_hour(now_ns, corrected=False)
+        if ue > 0:
+            return MarginAdvice(module_id, "disable", ce, ue,
+                                "uncorrected errors in window")
+        if ce > self.demote_ce_rate:
+            return MarginAdvice(module_id, "demote", ce, ue,
+                                "CE rate {:.0f}/h exceeds {:.0f}/h"
+                                .format(ce, self.demote_ce_rate))
+        return MarginAdvice(module_id, "keep", ce, ue, "within budget")
+
+    def fleet_summary(self, now_ns: float) -> Dict[str, int]:
+        """Counts of modules per recommended action."""
+        out = {"keep": 0, "demote": 0, "disable": 0}
+        for module_id in self.logs:
+            out[self.advise(module_id, now_ns).action] += 1
+        return out

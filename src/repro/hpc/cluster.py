@@ -1,0 +1,61 @@
+"""Cluster model: nodes with memory frequency margins.
+
+Nodes carry the node-level margins of Section III-D2; the margin-aware
+scheduler groups them into classes (0.8 / 0.6 / 0 GT/s), which the
+paper reports as 62% / 36% / 2% of nodes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..core.margin_selection import NODE_MARGIN_BUCKETS, bucket_node_margin
+
+#: The paper's node-group fractions under margin-aware selection.
+DEFAULT_GROUP_FRACTIONS = {800: 0.62, 600: 0.36, 0: 0.02}
+
+
+@dataclass
+class ClusterNode:
+    """One compute node."""
+    index: int
+    margin_mts: int
+    free_at_s: float = 0.0
+
+
+class Cluster:
+    """A fixed pool of nodes with assigned margins."""
+
+    def __init__(self, total_nodes: int,
+                 group_fractions: Dict[int, float] = None,
+                 seed: int = 3):
+        if total_nodes <= 0:
+            raise ValueError("total_nodes must be positive")
+        fractions = dict(group_fractions or DEFAULT_GROUP_FRACTIONS)
+        if abs(sum(fractions.values()) - 1.0) > 1e-6:
+            raise ValueError("group fractions must sum to 1")
+        rng = random.Random(seed)
+        margins = []
+        for margin, frac in sorted(fractions.items(), reverse=True):
+            margins.extend([margin] * round(frac * total_nodes))
+        while len(margins) < total_nodes:
+            margins.append(0)
+        margins = margins[:total_nodes]
+        rng.shuffle(margins)
+        self.nodes = [ClusterNode(i, m) for i, m in enumerate(margins)]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def groups(self) -> Dict[int, List[ClusterNode]]:
+        """Nodes grouped by margin bucket, fastest first."""
+        out: Dict[int, List[ClusterNode]] = {}
+        for node in self.nodes:
+            out.setdefault(bucket_node_margin(node.margin_mts),
+                           []).append(node)
+        return dict(sorted(out.items(), reverse=True))
+
+    def group_counts(self) -> Dict[int, int]:
+        return {k: len(v) for k, v in self.groups().items()}

@@ -1,0 +1,57 @@
+"""Row-buffer page policies (Table IV: hybrid policy with a 200-cycle
+timeout interval).
+
+* ``open``   — rows stay open until a conflicting activate.
+* ``closed`` — rows are precharged right after each access.
+* ``hybrid`` — rows stay open for a timeout window after their last
+  access; when no request arrives within the window the bank
+  autoprecharges, converting later same-row accesses into cheaper
+  closed-bank misses instead of conflicts.
+
+The simulator applies the policy lazily: before an access classifies
+against the bank, :meth:`apply` retroactively closes a row whose
+timeout elapsed in the past (the precharge happened while the bank was
+idle, so its tRP is already paid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cache.hierarchy import CPU_GHZ
+from ..dram.bank import Bank
+
+
+@dataclass(frozen=True)
+class PagePolicy:
+    """Row-buffer management policy."""
+    kind: str = "hybrid"             # 'open' | 'closed' | 'hybrid'
+    timeout_cycles: int = 200        # hybrid timeout (CPU cycles)
+    cpu_ghz: float = CPU_GHZ
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("open", "closed", "hybrid"):
+            raise ValueError("unknown page policy {!r}".format(self.kind))
+        if self.timeout_cycles <= 0:
+            raise ValueError("timeout must be positive")
+
+    @property
+    def timeout_ns(self) -> float:
+        return self.timeout_cycles / self.cpu_ghz
+
+    def apply(self, bank: Bank, now_ns: float) -> None:
+        """Close the bank's row if the policy would have by ``now_ns``."""
+        if bank.open_row is None:
+            return
+        if self.kind == "closed":
+            self._idle_close(bank)
+        elif self.kind == "hybrid":
+            if now_ns - bank.last_access_ns > self.timeout_ns:
+                self._idle_close(bank)
+
+    @staticmethod
+    def _idle_close(bank: Bank) -> None:
+        # The precharge occurred while the bank was idle; by the time a
+        # new request arrives its tRP has already elapsed, so only the
+        # row-buffer state changes.
+        bank.open_row = None

@@ -1,0 +1,66 @@
+"""Design-policy interface between the memory controller and the memory
+designs it can embody (Commercial Baseline, FMR, Hetero-DMR, ...).
+
+The controller is design-agnostic; a policy object decides
+* which flat rank serves a read (replica selection / copy redirection),
+* whether writes broadcast to multiple ranks in one bus transaction,
+* what entering/leaving write mode costs (bus turnaround for a
+  conventional system, 1 us frequency transitions for Hetero-DMR), and
+* which extra blocks join a write batch (Hetero-DMR's LLC cleaning).
+
+The concrete Hetero-DMR/FMR policies live in :mod:`repro.core`; this
+module defines the interface plus the conventional default.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..dram.channel import Channel
+from .queues import ReadRequest
+
+#: Bus turnaround cost of a conventional read<->write switch (~20 ns
+#: round trip, Section III-A1), charged half per direction.
+CONVENTIONAL_TURNAROUND_NS = 10.0
+
+
+class AccessPolicy:
+    """Conventional (Commercial Baseline) behaviour; subclass hooks."""
+
+    name = "baseline"
+    #: Broadcast each write to all awake ranks in one bus transaction?
+    broadcast_writes = False
+    #: Route dirty evictions through the per-channel writeback cache?
+    uses_writeback_cache = False
+
+    def read_rank(self, channel: Channel, request: ReadRequest,
+                  now_ns: float) -> int:
+        """Flat rank that serves this read (identity for the baseline)."""
+        return request.location.rank % channel.rank_count()
+
+    def enter_write_mode(self, channel: Channel, now_ns: float) -> float:
+        """Cost of switching the channel to write mode; returns the time
+        writes may start."""
+        return now_ns + CONVENTIONAL_TURNAROUND_NS
+
+    def exit_write_mode(self, channel: Channel, now_ns: float) -> float:
+        """Cost of switching back to read mode."""
+        return now_ns + CONVENTIONAL_TURNAROUND_NS
+
+    def write_batch_extra(self, now_ns: float) -> List[int]:
+        """Extra line addresses to append to a write batch (Hetero-DMR's
+        proactive LLC cleaning); empty for the baseline."""
+        return []
+
+    def on_read_complete(self, channel: Channel, request: ReadRequest,
+                         now_ns: float) -> float:
+        """Hook after a read's data burst (Hetero-DMR checks the copy's
+        ECC here and pays the correction flow on a detected error).
+        Returns the possibly-delayed completion time."""
+        return now_ns
+
+    def writes_per_transaction(self) -> int:
+        """DRAM write bursts consumed per logical write (energy model):
+        1 for baseline, 2 for broadcast to original+copy, 3 for
+        Hetero-DMR+FMR's original+two copies."""
+        return 1

@@ -1,0 +1,109 @@
+"""FR-FCFS command scheduling with bank fairness (Table IV).
+
+First-Ready First-Come-First-Served: among queued reads, prefer one
+that hits an open row (first-ready); fall back to the oldest request.
+To keep a stream of row hits from starving other banks ("FR-FCFS
+scheduling policy with bank fairness"), at most ``fairness_cap``
+consecutive row-hit picks may target the same bank before the oldest
+request is forced.  Demand reads outrank prefetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..dram.channel import Channel
+from .page_policy import PagePolicy
+from .queues import ReadRequest
+
+
+@dataclass
+class SchedulerStats:
+    row_hit_picks: int = 0
+    oldest_picks: int = 0
+    fairness_overrides: int = 0
+
+
+class FrFcfsScheduler:
+    """Selects the next read to issue from a channel's read queue."""
+
+    def __init__(self, page_policy: Optional[PagePolicy] = None,
+                 fairness_cap: int = 8, scan_window: int = 64):
+        if fairness_cap <= 0:
+            raise ValueError("fairness_cap must be positive")
+        if scan_window <= 0:
+            raise ValueError("scan_window must be positive")
+        self.page_policy = page_policy or PagePolicy()
+        self.fairness_cap = fairness_cap
+        self.scan_window = scan_window
+        self._last_bank: Optional[tuple] = None
+        self._streak = 0
+        self.stats = SchedulerStats()
+
+    def pick(self, queue: List[ReadRequest], channel: Channel,
+             now_ns: float,
+             rank_of: "callable" = None) -> Optional[int]:
+        """Return the queue index of the request to issue, or None when
+        the queue is empty.  ``rank_of`` maps a request to the flat rank
+        it will actually be served from (identity by default); design
+        policies use it to redirect reads to replica ranks.
+
+        The queue is arrival-ordered (the event loop processes
+        submissions in time order), so the oldest request is index 0;
+        row hits are searched within the first ``scan_window`` entries,
+        matching real schedulers' bounded associative lookup.
+        """
+        if not queue:
+            return None
+        hit_idx: Optional[int] = None
+        oldest_idx = 0
+        apply_policy = self.page_policy.apply
+        prefetch_hit_idx: Optional[int] = None
+        other_rank_hit_idx: Optional[int] = None
+        bus_rank = channel._last_bus_rank
+        for i, req in enumerate(queue[:self.scan_window]):
+            flat_rank = rank_of(req) if rank_of else req.location.rank
+            _, rank = channel.locate_rank(flat_rank)
+            bank = rank.banks[req.location.bank]
+            apply_policy(bank, now_ns)
+            if bank.open_row == req.location.row:
+                if req.is_prefetch:
+                    # Prefetch row hits yield to any demand hit.
+                    if prefetch_hit_idx is None:
+                        prefetch_hit_idx = i
+                    continue
+                if bus_rank is None or rank is bus_rank:
+                    # Same-rank hit: no bus switching bubble.
+                    hit_idx = i
+                    break
+                if other_rank_hit_idx is None:
+                    other_rank_hit_idx = i
+        if hit_idx is None:
+            hit_idx = other_rank_hit_idx
+        if hit_idx is None:
+            hit_idx = prefetch_hit_idx
+        if hit_idx is not None:
+            req = queue[hit_idx]
+            flat_rank = rank_of(req) if rank_of else req.location.rank
+            key = (flat_rank, req.location.bank)
+            if key == self._last_bank and self._streak >= self.fairness_cap:
+                self.stats.fairness_overrides += 1
+                self._note(queue[oldest_idx], rank_of)
+                self.stats.oldest_picks += 1
+                return oldest_idx
+            self._streak = self._streak + 1 if key == self._last_bank else 1
+            self._last_bank = key
+            self.stats.row_hit_picks += 1
+            return hit_idx
+        self._note(queue[oldest_idx], rank_of)
+        self.stats.oldest_picks += 1
+        return oldest_idx
+
+    def _note(self, req: ReadRequest, rank_of: "callable") -> None:
+        flat_rank = rank_of(req) if rank_of else req.location.rank
+        key = (flat_rank, req.location.bank)
+        if key == self._last_bank:
+            self._streak += 1
+        else:
+            self._last_bank, self._streak = key, 1

@@ -1,0 +1,105 @@
+"""Per-channel victim writeback cache (Section III-E).
+
+Hetero-DMR adds a 128 KB 64-way cache between the LLC and each
+channel's write buffer so the small (128-entry) write buffer does not
+fill — and force a write-mode switch — long before a 12800-write batch
+has accumulated.  Evicted dirty blocks are cached here when their set
+has space and go to the write buffer otherwise; during write mode the
+whole structure drains to DRAM through the write buffer.
+
+The memory command scheduler never inspects this cache (the paper is
+explicit about that), so it is modelled as pure buffering: insertion
+order per set, no timing cost of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..cache.cache import LINE_BYTES
+
+#: Geometry from Section III-E: 128 KB, 64 ways, 64 B lines -> 32 sets.
+WRITEBACK_CACHE_BYTES = 128 << 10
+WRITEBACK_CACHE_ASSOC = 64
+
+
+@dataclass
+class WritebackCacheStats:
+    inserted: int = 0
+    rejected: int = 0
+    drained: int = 0
+    read_hits: int = 0
+
+
+class WritebackCache:
+    """Insertion-ordered victim buffer for dirty evictions."""
+
+    def __init__(self, size_bytes: int = WRITEBACK_CACHE_BYTES,
+                 assoc: int = WRITEBACK_CACHE_ASSOC,
+                 line_bytes: int = LINE_BYTES):
+        nsets = size_bytes // (assoc * line_bytes)
+        if nsets <= 0:
+            raise ValueError("writeback cache too small")
+        self.nsets = nsets
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self._sets: List[Dict[int, None]] = [dict() for _ in range(nsets)]
+        self._count = 0
+        self.stats = WritebackCacheStats()
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        return self.nsets * self.assoc
+
+    def _set_of(self, line_addr: int) -> int:
+        return (line_addr // self.line_bytes) % self.nsets
+
+    def insert(self, line_addr: int) -> bool:
+        """Buffer a dirty eviction; False when the set is full (the
+        block must go to the write buffer instead)."""
+        ways = self._sets[self._set_of(line_addr)]
+        if line_addr in ways:
+            self.stats.inserted += 1
+            return True
+        if len(ways) >= self.assoc:
+            self.stats.rejected += 1
+            return False
+        ways[line_addr] = None
+        self._count += 1
+        self.stats.inserted += 1
+        return True
+
+    def contains(self, line_addr: int) -> bool:
+        """Read-forwarding check: a read that hits here is serviced from
+        the buffered dirty data without touching DRAM."""
+        hit = line_addr in self._sets[self._set_of(line_addr)]
+        if hit:
+            self.stats.read_hits += 1
+        return hit
+
+    def remove(self, line_addr: int) -> bool:
+        """Drop one entry (e.g., forwarded to a demand read-fill)."""
+        ways = self._sets[self._set_of(line_addr)]
+        if line_addr in ways:
+            del ways[line_addr]
+            self._count -= 1
+            return True
+        return False
+
+    def drain_all(self) -> List[int]:
+        """Empty the cache; returns the buffered line addresses."""
+        out: List[int] = []
+        for ways in self._sets:
+            out.extend(ways.keys())
+            ways.clear()
+        self.stats.drained += len(out)
+        self._count = 0
+        return out
+
+    @property
+    def occupancy(self) -> float:
+        return self._count / self.capacity

@@ -1,0 +1,61 @@
+"""Minimal discrete-event engine.
+
+Time is a float in nanoseconds.  Events are callbacks ordered by
+(time, sequence); the sequence number makes simultaneous events FIFO
+and keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+
+class EventLoop:
+    """A deterministic event queue."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now = 0.0
+        self.events_processed = 0
+        self._stop = False
+
+    def stop(self) -> None:
+        """Ask :meth:`run` to return after the current event."""
+        self._stop = True
+
+    def schedule(self, time_ns: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at ``time_ns`` (clamped to now)."""
+        if time_ns < self.now:
+            time_ns = self.now
+        heapq.heappush(self._queue, (time_ns, self._seq, callback))
+        self._seq += 1
+
+    def schedule_in(self, delay_ns: float,
+                    callback: Callable[[], None]) -> None:
+        """Schedule relative to the current time."""
+        self.schedule(self.now + max(0.0, delay_ns), callback)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def run(self, until_ns: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Process events until the queue drains (or a bound is hit)."""
+        processed = 0
+        self._stop = False
+        while self._queue:
+            if self._stop:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            time_ns, _, callback = self._queue[0]
+            if until_ns is not None and time_ns > until_ns:
+                break
+            heapq.heappop(self._queue)
+            self.now = time_ns
+            callback()
+            processed += 1
+        self.events_processed += processed

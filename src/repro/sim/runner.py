@@ -1,0 +1,139 @@
+"""Experiment orchestration for the evaluation figures.
+
+Maps each of the paper's evaluation experiments onto node simulations
+and composes them with the paper's weighting rules:
+
+* Figure 5:  the four Table II settings x six suites x two hierarchies
+  (baseline design, timing override).
+* Figure 12: {FMR, Hetero-DMR, Hetero-DMR+FMR} x usage buckets
+  {[0,25), [25,50), [50,100]} x margins {0.8, 0.6 GT/s} x hierarchies,
+  normalized to the Commercial Baseline; the "[0~100%]" bar weights
+  buckets by the Figure 1 job fractions, and the headline numbers
+  weight margins by the node-group fractions (62% / 36%).
+* Figures 13-15 reuse the same runs (energy, traffic, bandwidth).
+
+Simulations are cached per configuration key, so a bench that asks for
+several views of the same cell pays for one simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.stats import suite_average, weighted_mean
+from ..cache.hierarchy import HIERARCHIES, HierarchyConfig
+from ..dram.timing import TABLE2_SETTINGS, TimingParameters
+from ..hpc.traces import MEMORY_BUCKET_FRACTIONS
+from ..workloads.registry import suite_names
+from .node import NodeConfig, NodeResult, simulate_node
+
+#: Node-margin weights from Section III-D2 (62% of nodes at 0.8 GT/s,
+#: 36% at 0.6 GT/s), renormalized over margin-bearing nodes.
+MARGIN_WEIGHTS = {800: 0.62, 600: 0.36}
+
+#: Figure 1 usage-bucket weights used for the "[0~100%]" bars.
+USAGE_WEIGHTS = {
+    "0-25": MEMORY_BUCKET_FRACTIONS["under_25"],
+    "25-50": MEMORY_BUCKET_FRACTIONS["25_to_50"],
+    "50-100": MEMORY_BUCKET_FRACTIONS["over_50"],
+}
+
+#: Representative utilization per bucket fed to the simulator.
+BUCKET_UTILIZATION = {"0-25": 0.15, "25-50": 0.35, "50-100": 0.75}
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs and caches node simulations for one trace length/seed."""
+    refs_per_core: int = 5000
+    seed: int = 12345
+    _cache: Dict[tuple, NodeResult] = field(default_factory=dict)
+
+    # -- primitives ---------------------------------------------------------------
+
+    def run(self, suite: str, hierarchy: HierarchyConfig,
+            design: str = "baseline",
+            timing: Optional[TimingParameters] = None,
+            margin_mts: int = 800,
+            memory_utilization: float = 0.15) -> NodeResult:
+        """Simulate one cell (cached)."""
+        key = (suite, hierarchy.name, design,
+               timing.data_rate_mts if timing else None,
+               timing.tRCD_ns if timing else None,
+               margin_mts, memory_utilization)
+        if key not in self._cache:
+            self._cache[key] = simulate_node(NodeConfig(
+                suite=suite, hierarchy=hierarchy, design=design,
+                timing=timing, margin_mts=margin_mts,
+                memory_utilization=memory_utilization,
+                refs_per_core=self.refs_per_core, seed=self.seed))
+        return self._cache[key]
+
+    def baseline(self, suite: str,
+                 hierarchy: HierarchyConfig) -> NodeResult:
+        return self.run(suite, hierarchy, "baseline")
+
+    # -- Figure 5 -------------------------------------------------------------------
+
+    def table2_speedups(self, hierarchy: HierarchyConfig
+                        ) -> Dict[str, Dict[str, float]]:
+        """Per-setting, per-suite speedup over the manufacturer
+        setting (Figure 5)."""
+        spec_name = "Manufacturer-specified Setting"
+        out: Dict[str, Dict[str, float]] = {}
+        spec_times = {
+            s: self.run(s, hierarchy, timing=TABLE2_SETTINGS[spec_name])
+            .time_ns for s in suite_names()}
+        for name, timing in TABLE2_SETTINGS.items():
+            per_suite = {}
+            for s in suite_names():
+                r = self.run(s, hierarchy, timing=timing)
+                per_suite[s] = spec_times[s] / r.time_ns
+            out[name] = per_suite
+        return out
+
+    # -- Figure 12 ---------------------------------------------------------------------
+
+    def design_speedup(self, suite: str, hierarchy: HierarchyConfig,
+                       design: str, margin_mts: int,
+                       bucket: str) -> float:
+        """Normalized performance of one design cell vs the baseline."""
+        base = self.baseline(suite, hierarchy)
+        util = BUCKET_UTILIZATION[bucket]
+        r = self.run(suite, hierarchy, design, margin_mts=margin_mts,
+                     memory_utilization=util)
+        return base.time_ns / r.time_ns
+
+    def fig12_cell(self, hierarchy: HierarchyConfig, design: str,
+                   margin_mts: int, bucket: str) -> float:
+        """Suite-equal average normalized performance of one bar."""
+        return suite_average({
+            s: self.design_speedup(s, hierarchy, design, margin_mts,
+                                   bucket)
+            for s in suite_names()})
+
+    def fig12_weighted(self, hierarchy: HierarchyConfig, design: str,
+                       margin_mts: int) -> float:
+        """The "[0~100%]" bar: buckets weighted by Figure 1."""
+        values, weights = [], []
+        for bucket, w in USAGE_WEIGHTS.items():
+            values.append(self.fig12_cell(hierarchy, design, margin_mts,
+                                          bucket))
+            weights.append(w)
+        return weighted_mean(values, weights)
+
+    def headline_speedup(self, design: str,
+                         hierarchies: Optional[List[HierarchyConfig]]
+                         = None) -> float:
+        """The paper's headline number: weighted over usage buckets,
+        margins (62/36), and averaged over hierarchies."""
+        hierarchies = hierarchies or [f() for f in HIERARCHIES.values()]
+        per_hier = []
+        for hier in hierarchies:
+            values, weights = [], []
+            for margin, w in MARGIN_WEIGHTS.items():
+                values.append(self.fig12_weighted(hier, design, margin))
+                weights.append(w)
+            per_hier.append(weighted_mean(values, weights))
+        return sum(per_hier) / len(per_hier)

@@ -1,0 +1,23 @@
+"""CORAL-2 benchmarks (AMG, Kripke, Quicksilver, Nekbone mix).
+
+The paper evaluates four CORAL-2 benchmarks; the aggregate behaviour
+mixes algebraic-multigrid sparse operations with structured transport
+sweeps: mid-length streams plus a significant irregular component.
+"""
+
+from ..workloads.base import WorkloadProfile
+
+PROFILE = WorkloadProfile(
+    name="coral2",
+    footprint_bytes=640 << 20,
+    stream_fraction=0.8,
+    stream_run_lines=32,
+    nstreams=3,
+    write_fraction=0.16,
+    dependent_fraction=0.12,
+    gap_cycles_mean=4.5,
+    mpi_fraction=0.14,
+    hot_fraction=0.82,
+    cold_gap_multiplier=18.0,
+    description="AMG/Kripke-style sparse + sweep mix",
+)

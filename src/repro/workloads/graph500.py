@@ -1,0 +1,24 @@
+"""Graph500: breadth-first search on a scale-free graph.
+
+Dominated by irregular, data-dependent accesses into a large adjacency
+structure: most references are random within a multi-GB footprint and
+roughly half chase pointers (the next address comes from the previous
+load), so the suite is latency-bound rather than bandwidth-bound.
+"""
+
+from ..workloads.base import WorkloadProfile
+
+PROFILE = WorkloadProfile(
+    name="graph500",
+    footprint_bytes=1024 << 20,
+    stream_fraction=0.35,        # frontier queues stream
+    stream_run_lines=24,
+    nstreams=2,
+    write_fraction=0.10,         # visited-bitmap updates
+    dependent_fraction=0.55,
+    gap_cycles_mean=6.5,
+    mpi_fraction=0.18,
+    hot_fraction=0.68,
+    cold_gap_multiplier=15.0,
+    description="BFS: pointer-chasing random access",
+)

@@ -1,0 +1,24 @@
+"""HPCG: preconditioned conjugate gradient.
+
+Sparse matrix-vector products dominate: streaming reads of the matrix
+values/column indices interleaved with irregular gathers of the source
+vector, plus streaming vector updates (AXPY). Highly memory-bound with
+a moderate irregular component.
+"""
+
+from ..workloads.base import WorkloadProfile
+
+PROFILE = WorkloadProfile(
+    name="hpcg",
+    footprint_bytes=768 << 20,
+    stream_fraction=0.85,        # matrix values + vector updates
+    stream_run_lines=48,
+    nstreams=3,
+    write_fraction=0.12,
+    dependent_fraction=0.1,     # gathers through the index array
+    gap_cycles_mean=3.0,
+    mpi_fraction=0.12,
+    hot_fraction=0.88,
+    cold_gap_multiplier=18.0,
+    description="sparse CG: SpMV gathers + vector streams",
+)

@@ -1,0 +1,23 @@
+"""LULESH: Lagrangian shock hydrodynamics.
+
+Unstructured-mesh stencil kernels: many concurrent node/element arrays
+are streamed each timestep with some indirection through connectivity
+lists, and a sizeable store share from updating element state.
+"""
+
+from ..workloads.base import WorkloadProfile
+
+PROFILE = WorkloadProfile(
+    name="lulesh",
+    footprint_bytes=384 << 20,
+    stream_fraction=0.85,
+    stream_run_lines=32,
+    nstreams=4,                  # many field arrays per kernel
+    write_fraction=0.20,
+    dependent_fraction=0.10,
+    gap_cycles_mean=4.0,
+    mpi_fraction=0.12,
+    hot_fraction=0.85,
+    cold_gap_multiplier=18.0,
+    description="hydrodynamics stencil streams + connectivity gathers",
+)

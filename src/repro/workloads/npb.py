@@ -1,0 +1,24 @@
+"""NAS Parallel Benchmarks (NPB).
+
+The suite average over CG/MG/FT/BT/SP/LU-style kernels: a balanced mix
+of strided streams (FT transposes, MG stencils) and sparse access
+(CG), with moderate memory intensity and a compute-heavier profile
+than the other suites.
+"""
+
+from ..workloads.base import WorkloadProfile
+
+PROFILE = WorkloadProfile(
+    name="npb",
+    footprint_bytes=512 << 20,
+    stream_fraction=0.78,
+    stream_run_lines=32,
+    nstreams=3,
+    write_fraction=0.14,
+    dependent_fraction=0.12,
+    gap_cycles_mean=5.0,
+    mpi_fraction=0.13,
+    hot_fraction=0.72,
+    cold_gap_multiplier=16.0,
+    description="NAS kernel mix: stencils, transposes, sparse CG",
+)

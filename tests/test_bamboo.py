@@ -1,0 +1,115 @@
+"""Tests for the address-inclusive Bamboo block codec."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc.bamboo import (ADDRESS_BYTES, BLOCK_DATA_BYTES,
+                              BLOCK_ECC_BYTES, BambooCodec, CodedBlock)
+from repro.ecc.reed_solomon import DecodeFailure
+
+CODEC = BambooCodec()
+DATA = tuple(range(64))
+
+
+def test_block_shape_validation():
+    with pytest.raises(ValueError):
+        CodedBlock((0,) * 10, (0,) * 8)
+    with pytest.raises(ValueError):
+        CodedBlock((0,) * 64, (0,) * 4)
+
+
+def test_encode_roundtrip_clean():
+    blk = CODEC.encode(list(DATA), address=0x1234)
+    assert CODEC.check(blk, 0x1234)
+    assert blk.data == DATA
+
+
+def test_encode_wrong_length():
+    with pytest.raises(ValueError):
+        CODEC.encode([1, 2, 3])
+
+
+def test_address_mismatch_detected():
+    blk = CODEC.encode(list(DATA), address=0x1000)
+    assert not CODEC.check(blk, 0x1040)
+
+
+def test_address_error_any_bit():
+    blk = CODEC.encode(list(DATA), address=0xABCDE)
+    for bit in range(20):
+        assert not CODEC.check(blk, 0xABCDE ^ (1 << bit))
+
+
+def test_negative_address_rejected():
+    with pytest.raises(ValueError):
+        BambooCodec.address_bytes(-1)
+
+
+def test_address_bytes_little_endian():
+    assert BambooCodec.address_bytes(0x0102)[:2] == [0x02, 0x01]
+    assert len(BambooCodec.address_bytes(0)) == ADDRESS_BYTES
+
+
+def test_stored_bytes_layout():
+    blk = CODEC.encode(list(DATA), 0)
+    raw = blk.stored_bytes()
+    assert len(raw) == 72
+    assert tuple(raw[:64]) == DATA
+
+
+def test_with_stored_bytes_roundtrip():
+    blk = CODEC.encode(list(DATA), 0)
+    again = blk.with_stored_bytes(blk.stored_bytes())
+    assert again == blk
+
+
+def test_with_stored_bytes_wrong_length():
+    blk = CODEC.encode(list(DATA), 0)
+    with pytest.raises(ValueError):
+        blk.with_stored_bytes([0] * 10)
+
+
+def test_correct_repairs_data_byte():
+    blk = CODEC.encode(list(DATA), 7)
+    raw = blk.stored_bytes()
+    raw[5] ^= 0xAA
+    repaired, positions = CODEC.correct(blk.with_stored_bytes(raw), 7)
+    assert repaired.data == DATA
+    assert positions == [5]
+
+
+def test_correct_repairs_ecc_byte():
+    blk = CODEC.encode(list(DATA), 7)
+    raw = blk.stored_bytes()
+    raw[70] ^= 0x01
+    repaired, positions = CODEC.correct(blk.with_stored_bytes(raw), 7)
+    assert repaired.data == DATA
+    assert CODEC.check(repaired, 7)
+
+
+def test_correct_with_wrong_address_raises():
+    blk = CODEC.encode(list(DATA), 0x100)
+    with pytest.raises(DecodeFailure):
+        CODEC.correct(blk, 0x140)
+
+
+def test_no_address_codec():
+    codec = BambooCodec(include_address=False)
+    blk = codec.encode(list(DATA), address=1)
+    # Address is ignored entirely.
+    assert codec.check(blk, address=99999)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(1, 8))
+def test_detects_any_corruption_up_to_8_bytes(seed, nbytes):
+    rng = random.Random(seed)
+    data = [rng.randrange(256) for _ in range(64)]
+    addr = rng.randrange(2 ** 40)
+    blk = CODEC.encode(data, addr)
+    raw = blk.stored_bytes()
+    for p in rng.sample(range(72), nbytes):
+        raw[p] ^= rng.randrange(1, 256)
+    assert not CODEC.check(blk.with_stored_bytes(raw), addr)

@@ -1,0 +1,184 @@
+"""Tests for the set-associative cache, including Hetero-DMR's
+dirty-LRU cleaning hooks and an LRU property check."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import Cache, LINE_BYTES
+
+
+def small_cache(assoc=4, sets=8):
+    return Cache(assoc * sets * LINE_BYTES, assoc)
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        Cache(0, 4)
+    with pytest.raises(ValueError):
+        Cache(64, 4)          # too small for assoc
+
+
+def test_non_power_of_two_sets_rejected():
+    with pytest.raises(ValueError):
+        Cache(3 * 4 * 64, 4)
+
+
+def test_miss_does_not_allocate():
+    c = small_cache()
+    assert not c.access(0, False)
+    assert not c.contains(0)
+
+
+def test_fill_then_hit():
+    c = small_cache()
+    c.fill(0)
+    assert c.access(0, False)
+    assert c.stats.hits == 1
+
+
+def test_write_hit_marks_dirty():
+    c = small_cache()
+    c.fill(0)
+    c.access(0, True)
+    assert c.is_dirty(0)
+
+
+def test_clean_fill_not_dirty():
+    c = small_cache()
+    c.fill(0)
+    assert not c.is_dirty(0)
+
+
+def test_eviction_returns_dirty_victim():
+    c = small_cache(assoc=2, sets=1)
+    c.fill(0, dirty=True)
+    c.fill(64)
+    victim = c.fill(128)
+    assert victim == 0
+    assert c.stats.writebacks == 1
+
+
+def test_eviction_clean_victim_silent():
+    c = small_cache(assoc=2, sets=1)
+    c.fill(0)
+    c.fill(64)
+    assert c.fill(128) is None
+
+
+def test_lru_order_updates_on_access():
+    c = small_cache(assoc=2, sets=1)
+    c.fill(0, dirty=True)
+    c.fill(64, dirty=True)
+    c.access(0, False)        # 0 becomes MRU
+    victim = c.fill(128)
+    assert victim == 64
+
+
+def test_refill_merges_dirtiness():
+    c = small_cache(assoc=2, sets=1)
+    c.fill(0, dirty=True)
+    c.fill(0, dirty=False)
+    assert c.is_dirty(0)
+
+
+def test_invalidate():
+    c = small_cache()
+    c.fill(0, dirty=True)
+    assert c.invalidate(0)
+    assert not c.contains(0)
+    assert not c.invalidate(0)
+
+
+def test_line_address_alignment():
+    c = small_cache()
+    assert c.line_address(100) == 64
+    assert c.line_address(64) == 64
+
+
+def test_dirty_line_count():
+    c = small_cache()
+    c.fill(0, dirty=True)
+    c.fill(64, dirty=True)
+    c.fill(128, dirty=False)
+    assert c.dirty_line_count() == 2
+
+
+def test_dirty_lru_blocks_returns_lru_first():
+    c = small_cache(assoc=4, sets=1)
+    for i in range(4):
+        c.fill(i * 64, dirty=True)
+    c.access(0, False)        # 0 most recent
+    out = c.dirty_lru_blocks(2)
+    assert out == [64, 128]
+
+
+def test_dirty_lru_respects_limit():
+    c = small_cache()
+    for i in range(6):
+        c.fill(i * 64, dirty=True)
+    assert len(c.dirty_lru_blocks(3)) == 3
+
+
+def test_clean_blocks_marks_clean():
+    c = small_cache()
+    c.fill(0, dirty=True)
+    cleaned = c.clean_blocks([0])
+    assert cleaned == [0]
+    assert not c.is_dirty(0)
+    assert c.stats.cleaned == 1
+
+
+def test_clean_blocks_skips_missing_and_clean():
+    c = small_cache()
+    c.fill(0, dirty=False)
+    assert c.clean_blocks([0, 999 * 64]) == []
+
+
+def test_cleaned_rewrite_counted():
+    """A line cleaned then re-dirtied is the Figure 14 overhead."""
+    c = small_cache()
+    c.fill(0, dirty=True)
+    c.clean_blocks([0])
+    c.access(0, True)
+    assert c.stats.cleaned_rewrites == 1
+
+
+def test_warm_fills_every_way():
+    c = small_cache(assoc=4, sets=8)
+    inserted = c.warm(random.Random(0), dirty_prob=1.0)
+    assert inserted == 32
+    assert c.dirty_line_count() == 32
+
+
+def test_warm_respects_max_line():
+    c = small_cache(assoc=2, sets=4)
+    c.warm(random.Random(0), max_line=1000)
+    for ways in c._sets:
+        for tag in ways:
+            assert tag <= max(1, 1000 >> (c.nsets.bit_length() - 1))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 31), min_size=1, max_size=200),
+       st.integers(0, 2**31 - 1))
+def test_lru_against_reference_model(lines, seed):
+    """The cache must evict exactly what a reference LRU list would."""
+    assoc, sets = 4, 1
+    c = Cache(assoc * sets * LINE_BYTES, assoc)
+    reference = []            # LRU order, front = oldest
+    for line in lines:
+        addr = line * LINE_BYTES
+        hit = c.access(addr, False)
+        assert hit == (addr in reference)
+        if hit:
+            reference.remove(addr)
+            reference.append(addr)
+        else:
+            victim = c.fill(addr)
+            if len(reference) >= assoc:
+                expected_victim = reference.pop(0)
+                # Clean victims return None but must match identity.
+                assert not c.contains(expected_victim)
+            reference.append(addr)

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_settings_command(capsys):
+    assert main(["settings"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert "4000" in out
+
+
+def test_suites_command(capsys):
+    assert main(["suites"]) == 0
+    out = capsys.readouterr().out
+    for suite in ("linpack", "graph500", "npb"):
+        assert suite in out
+
+
+def test_characterize_command(capsys):
+    assert main(["characterize"]) == 0
+    out = capsys.readouterr().out
+    assert "brands A-C" in out
+    assert "119 modules" in out
+
+
+def test_montecarlo_command(capsys):
+    assert main(["--seed", "11", "montecarlo", "--trials", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "node (aware)" in out
+
+
+def test_node_command(capsys):
+    assert main(["node", "--suite", "linpack", "--refs", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "hetero-dmr" in out
+    assert "speedup" in out
+
+
+def test_node_rejects_bad_hierarchy():
+    with pytest.raises(SystemExit):
+        main(["node", "--hierarchy", "Hierarchy9"])
+
+
+def test_hpc_command(capsys):
+    assert main(["hpc", "--nodes", "48", "--jobs", "150"]) == 0
+    out = capsys.readouterr().out
+    assert "turnaround speedup" in out

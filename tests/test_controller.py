@@ -1,0 +1,144 @@
+"""Integration tests for the channel controller with the event loop."""
+
+import pytest
+
+from repro.dram.channel import Channel
+from repro.dram.module import Module, ModuleSpec
+from repro.dram.timing import exploit_freq_lat_margins
+from repro.mem_ctrl.address_map import AddressMapping
+from repro.mem_ctrl.controller import ChannelController, MemoryController
+from repro.mem_ctrl.policy import AccessPolicy
+from repro.core.policies import BaselinePolicy, HeteroDMRPolicy
+from repro.sim.engine import EventLoop
+
+
+def _setup(policy=None, enable_refresh=False):
+    engine = EventLoop()
+    ch = Channel(index=0, fast_timing=exploit_freq_lat_margins())
+    ch.modules = [Module(ModuleSpec(), "M0"), Module(ModuleSpec(), "M1")]
+    mapping = AddressMapping(channels=1, ranks_per_channel=4)
+    ctrl = ChannelController(engine, ch, mapping, policy or AccessPolicy(),
+                             enable_refresh=enable_refresh)
+    return engine, ch, ctrl
+
+
+def test_read_completes_with_callback():
+    engine, ch, ctrl = _setup()
+    done = []
+    ctrl.submit_read(0x1000, 0.0, done.append)
+    engine.run()
+    assert len(done) == 1
+    assert done[0] > 0
+    assert ctrl.stats.reads_issued == 1
+
+
+def test_reads_pipeline_on_bus():
+    engine, ch, ctrl = _setup()
+    done = []
+    for i in range(8):
+        ctrl.submit_read(i * 64, 0.0, done.append)
+    engine.run()
+    assert len(done) == 8
+    # All eight bursts must serialize on the bus at minimum.
+    assert max(done) >= 8 * ch.timing.burst_time_ns
+
+
+def test_write_batch_drains_on_demand():
+    engine, ch, ctrl = _setup()
+    for i in range(5):
+        ctrl.submit_write(i * 64, 0.0)
+    ctrl.drain()
+    engine.run()
+    assert ctrl.stats.writes_issued == 5
+    assert ctrl.mode == "read"
+
+
+def test_write_high_watermark_triggers_write_mode():
+    engine, ch, ctrl = _setup()   # plain policy: no writeback cache
+    for i in range(96):
+        ctrl.submit_write(i * 64, 0.0)
+    assert ctrl.stats.write_mode_entries == 1
+    engine.run()
+    assert ctrl.stats.writes_issued >= 96 - ctrl.write_low
+
+
+def test_writeback_cache_absorbs_writes():
+    engine, ch, ctrl = _setup(policy=BaselinePolicy())
+    for i in range(96):
+        ctrl.submit_write(i * 64, 0.0)
+    # All buffered in the writeback cache: no write mode yet.
+    assert ctrl.stats.write_mode_entries == 0
+    assert len(ctrl.wb_cache) == 96
+
+
+def test_writeback_cache_read_forwarding():
+    engine, ch, ctrl = _setup(policy=BaselinePolicy())
+    ctrl.submit_write(0x40, 0.0)
+    done = []
+    ctrl.submit_read(0x40, 1.0, done.append)
+    engine.run()
+    assert done and ctrl.stats.wb_cache_forwards == 1
+    assert ctrl.stats.reads_issued == 0
+
+
+def test_prefetch_shedding_under_pressure():
+    engine, ch, ctrl = _setup()
+    ctrl.max_inflight = 1
+    outcomes = []
+    for i in range(260):
+        ctrl.submit_read(i * 64, 0.0, outcomes.append,
+                         is_prefetch=True)
+    engine.run()
+    assert None in outcomes               # some prefetches shed
+    assert len(outcomes) == 260           # every callback fired
+
+
+def test_refresh_scheduler_runs():
+    engine, ch, ctrl = _setup(enable_refresh=True)
+    engine.run(until_ns=50_000)
+    assert ctrl.stats.refreshes > 0
+    ctrl.stop()
+
+
+def test_hetero_dmr_write_mode_transitions():
+    engine, ch, ctrl = _setup(policy=HeteroDMRPolicy())
+    ch.modules[1].holds_copies = True
+    ch.to_fast(0.0)
+    for i in range(4096):
+        ctrl.submit_write(i * 64, 0.0)
+    ctrl.drain()
+    engine.run()
+    # Channel slowed to spec for the batch and sped back up.
+    assert ch.frequency.transitions_to_safe >= 1
+    assert ch.frequency.transitions_to_fast >= 2   # boot + after batch
+    assert ctrl.stats.writes_issued > 0
+
+
+def test_memory_controller_routes_channels():
+    engine = EventLoop()
+    channels = []
+    for c in range(2):
+        ch = Channel(index=c)
+        ch.modules = [Module(ModuleSpec(), f"C{c}M0"),
+                      Module(ModuleSpec(), f"C{c}M1")]
+        channels.append(ch)
+    mapping = AddressMapping(channels=2, ranks_per_channel=4)
+    mc = MemoryController(engine, channels, mapping,
+                          lambda i: AccessPolicy(), enable_refresh=False)
+    done = []
+    mc.submit_read(0, 0.0, done.append)        # channel 0
+    mc.submit_read(64, 0.0, done.append)       # channel 1
+    engine.run()
+    assert len(done) == 2
+    assert mc.controllers[0].stats.reads_issued == 1
+    assert mc.controllers[1].stats.reads_issued == 1
+
+
+def test_memory_controller_mapping_mismatch():
+    engine = EventLoop()
+    ch = Channel(index=0)
+    ch.modules = [Module(ModuleSpec(), "M0")]
+    with pytest.raises(ValueError):
+        MemoryController(engine, [ch],
+                         AddressMapping(channels=2),
+                         lambda i: AccessPolicy())

@@ -1,0 +1,76 @@
+"""Tests for the DDR5 extension (Section III-F hypothesis)."""
+
+import pytest
+
+from repro.dram.ddr5 import (DDR5_BURST_LENGTH, DDR5_GRADES,
+                             DDR5_MAX_CHIPS_PER_RANK, DDR5_SUBCHANNELS,
+                             ddr5_fast_timing, ddr5_timing, ddr5_timings,
+                             predicted_margin_mts)
+
+
+def test_grades_available():
+    timings = ddr5_timings()
+    assert set(timings) == set(DDR5_GRADES)
+    for rate, t in timings.items():
+        assert t.data_rate_mts == rate
+
+
+def test_minimum_grade():
+    with pytest.raises(ValueError):
+        ddr5_timing(2400)
+
+
+def test_margin_anchor_at_3200():
+    """Same clock as DDR4-3200 -> same 800 MT/s margin."""
+    assert predicted_margin_mts(3200) == 800
+
+
+def test_margin_scales_with_rate():
+    """Constant eye width in UI -> margin proportional to rate."""
+    assert predicted_margin_mts(6400) == 1600
+    assert predicted_margin_mts(4800) == 1200
+
+
+def test_margin_snaps_to_grid():
+    assert predicted_margin_mts(4000) % 200 == 0
+
+
+def test_margin_validates():
+    with pytest.raises(ValueError):
+        predicted_margin_mts(0)
+
+
+def test_fast_timing_rate():
+    fast = ddr5_fast_timing(4800)
+    assert fast.data_rate_mts == 4800 + 1200
+
+
+def test_fast_timing_scales_cas():
+    spec = ddr5_timing(4800)
+    fast = ddr5_fast_timing(4800)
+    assert fast.tCAS_ns < spec.tCAS_ns
+
+
+def test_latency_margin_option():
+    plain = ddr5_fast_timing(4800, use_latency_margin=False)
+    lat = ddr5_fast_timing(4800, use_latency_margin=True)
+    assert lat.tRCD_ns < plain.tRCD_ns
+    assert lat.tREFI_ns > plain.tREFI_ns
+
+
+def test_constants_match_paper_discussion():
+    assert DDR5_MAX_CHIPS_PER_RANK == 10
+    assert DDR5_SUBCHANNELS == 2
+    assert DDR5_BURST_LENGTH == 16
+
+
+def test_ddr5_runs_in_node_simulator():
+    """Hetero-DMR's substrate is interface-agnostic: a DDR5 grade can
+    drive the baseline simulation directly."""
+    from repro.sim import NodeConfig, simulate_node
+    from tests.conftest import tiny_hierarchy
+    r = simulate_node(NodeConfig(suite="linpack",
+                                 hierarchy=tiny_hierarchy(),
+                                 timing=ddr5_timing(4800),
+                                 refs_per_core=500))
+    assert r.dram_reads > 0

@@ -1,0 +1,91 @@
+"""Tests for the DRAM bank row-buffer state machine."""
+
+import pytest
+
+from repro.dram.bank import Bank
+from repro.dram.timing import manufacturer_spec_3200
+
+T = manufacturer_spec_3200()
+
+
+def test_initially_closed():
+    b = Bank(0)
+    assert b.open_row is None
+    assert b.classify(5) == "closed"
+
+
+def test_closed_access_pays_trcd_plus_cas():
+    b = Bank(0)
+    data_at = b.access(5, 0.0, T, is_write=False)
+    assert data_at == pytest.approx(T.tRCD_ns + T.tCAS_ns)
+    assert b.open_row == 5
+
+
+def test_row_hit_pays_only_cas():
+    b = Bank(0)
+    first = b.access(5, 0.0, T, False)
+    second = b.access(5, first, T, False)
+    # Second access: column issued at max(first, column_ready).
+    assert second - first <= T.tCAS_ns + T.tCCD_ns
+    assert b.stats.row_hits == 1
+
+
+def test_conflict_pays_precharge_and_activate():
+    b = Bank(0)
+    b.access(5, 0.0, T, False)
+    t2 = b.access(9, 200.0, T, False)
+    assert b.open_row == 9
+    assert b.stats.row_conflicts == 1
+    assert t2 >= 200.0 + T.tRP_ns + T.tRCD_ns
+
+
+def test_tras_gates_early_conflict():
+    b = Bank(0)
+    b.access(5, 0.0, T, False)
+    # Immediately conflicting: precharge must wait for tRAS.
+    t2 = b.access(9, 1.0, T, False)
+    assert t2 >= T.tRAS_ns + T.tRP_ns + T.tRCD_ns
+
+
+def test_classify_hit():
+    b = Bank(0)
+    b.access(3, 0.0, T, False)
+    assert b.classify(3) == "hit"
+    assert b.classify(4) == "conflict"
+
+
+def test_write_sets_write_recovery():
+    b = Bank(0)
+    b.access(5, 0.0, T, is_write=True)
+    pre_ready = b.precharge_ready_ns
+    assert pre_ready >= T.tRCD_ns + T.tCAS_ns + T.burst_time_ns + T.tWR_ns
+
+
+def test_close_noop_when_closed():
+    b = Bank(0)
+    assert b.close(10.0, T) == 10.0
+
+
+def test_close_open_row():
+    b = Bank(0)
+    b.access(5, 0.0, T, False)
+    t = b.close(100.0, T)
+    assert b.open_row is None
+    assert t >= 100.0
+
+
+def test_same_bank_activates_respect_trc():
+    b = Bank(0)
+    b.access(1, 0.0, T, False)
+    assert b.activate_ready_ns >= T.tRC_ns
+
+
+def test_stats_accounting():
+    b = Bank(0)
+    b.access(1, 0.0, T, False)       # closed miss
+    b.access(1, 100.0, T, False)     # hit
+    b.access(2, 200.0, T, False)     # conflict
+    s = b.stats
+    assert (s.row_misses, s.row_hits, s.row_conflicts) == (1, 1, 1)
+    assert s.accesses == 3
+    assert s.activates == 2

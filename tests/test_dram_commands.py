@@ -1,0 +1,43 @@
+"""Tests for the DDR4 command vocabulary."""
+
+import pytest
+
+from repro.dram.commands import (Command, CommandType, DATA_COMMANDS,
+                                 IGNORED_IN_SELF_REFRESH)
+
+
+def test_activate_requires_row():
+    with pytest.raises(ValueError):
+        Command(CommandType.ACTIVATE)
+    Command(CommandType.ACTIVATE, row=5)
+
+
+def test_data_commands_require_column():
+    with pytest.raises(ValueError):
+        Command(CommandType.READ)
+    with pytest.raises(ValueError):
+        Command(CommandType.WRITE)
+    Command(CommandType.READ, column=3)
+
+
+def test_only_writes_broadcast():
+    with pytest.raises(ValueError):
+        Command(CommandType.READ, column=1, broadcast=True)
+    Command(CommandType.WRITE, column=1, broadcast=True)
+
+
+def test_data_commands_set():
+    assert DATA_COMMANDS == {CommandType.READ, CommandType.WRITE}
+
+
+def test_self_refresh_ignores_everything_but_exit():
+    assert CommandType.SELF_REFRESH_EXIT not in IGNORED_IN_SELF_REFRESH
+    assert CommandType.NOP not in IGNORED_IN_SELF_REFRESH
+    assert CommandType.REFRESH in IGNORED_IN_SELF_REFRESH
+    assert CommandType.ACTIVATE in IGNORED_IN_SELF_REFRESH
+
+
+def test_refresh_command_plain():
+    cmd = Command(CommandType.REFRESH, rank=2)
+    assert cmd.rank == 2
+    assert cmd.row is None

@@ -1,0 +1,40 @@
+"""Tests for the DRAM energy model."""
+
+import pytest
+
+from repro.dram.power import DramEnergyCounter, DramPowerParams
+from repro.dram.timing import exploit_frequency_margin, manufacturer_spec_3200
+
+
+def test_total_energy_counts_events():
+    c = DramEnergyCounter(DramPowerParams())
+    c.activates = 10
+    c.read_bursts = 100
+    expected = (10 * 18.0 + 100 * 12.0) * 1e-9
+    assert c.total_joules() == pytest.approx(expected)
+
+
+def test_background_power_terms():
+    p = DramPowerParams()
+    c = DramEnergyCounter(p, active_rank_seconds=2.0,
+                          self_refresh_rank_seconds=1.0)
+    expected = 2.0 * p.background_active_w + 1.0 * p.background_self_refresh_w
+    assert c.total_joules() == pytest.approx(expected)
+
+
+def test_self_refresh_cheaper_than_active():
+    p = DramPowerParams()
+    assert p.background_self_refresh_w < p.background_active_w
+
+
+def test_io_energy_scales_with_rate():
+    p = DramPowerParams()
+    fast = p.scaled_for_rate(exploit_frequency_margin())
+    assert fast.read_burst_nj > p.read_burst_nj
+    assert fast.activate_nj == p.activate_nj
+
+
+def test_scaling_identity_at_spec():
+    p = DramPowerParams()
+    same = p.scaled_for_rate(manufacturer_spec_3200())
+    assert same.read_burst_nj == pytest.approx(p.read_burst_nj)

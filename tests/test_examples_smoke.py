@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs to completion.
+
+The heavy ones are exercised at reduced scale via their CLI arguments;
+quickstart and the ECC playground run as-is.
+"""
+
+import runpy
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = "examples"
+
+
+def _run(*argv, timeout=240):
+    return subprocess.run([sys.executable, *argv], timeout=timeout,
+                          capture_output=True, text=True)
+
+
+def test_quickstart():
+    r = _run(f"{EXAMPLES}/quickstart.py")
+    assert r.returncode == 0, r.stderr
+    assert "all reads correct after corruption" in r.stdout
+
+
+def test_ecc_playground():
+    r = _run(f"{EXAMPLES}/ecc_playground.py")
+    assert r.returncode == 0, r.stderr
+    assert "returns WRONG data: True" in r.stdout
+
+
+def test_node_speedup_small():
+    r = _run(f"{EXAMPLES}/node_speedup.py", "lulesh", "400")
+    assert r.returncode == 0, r.stderr
+    assert "hetero-dmr" in r.stdout
+
+
+def test_hpc_system_small():
+    r = _run(f"{EXAMPLES}/hpc_system.py", "48", "200")
+    assert r.returncode == 0, r.stderr
+    assert "turnaround speedup" in r.stdout
+
+
+def test_margin_sweep_small():
+    r = _run(f"{EXAMPLES}/margin_sweep.py", "linpack", "250")
+    assert r.returncode == 0, r.stderr
+    assert "speedup vs margin" in r.stdout
+
+
+def test_node_speedup_rejects_unknown_suite():
+    r = _run(f"{EXAMPLES}/node_speedup.py", "spec2017")
+    assert r.returncode != 0

@@ -1,0 +1,51 @@
+"""Focused tests for the FMR baseline design semantics."""
+
+import pytest
+
+from repro.core.policies import FmrPolicy, HeteroDMRPolicy
+from repro.dram import Channel, Module, ModuleSpec, exploit_freq_lat_margins
+from repro.mem_ctrl.address_map import MemLocation
+from repro.mem_ctrl.policy import CONVENTIONAL_TURNAROUND_NS
+from repro.mem_ctrl.queues import ReadRequest
+
+
+def _channel():
+    ch = Channel(index=0, fast_timing=exploit_freq_lat_margins())
+    ch.modules = [Module(ModuleSpec(), "M0"),
+                  Module(ModuleSpec(), "M1", holds_copies=True)]
+    return ch
+
+
+def _req(rank=0, bank=0, row=5):
+    return ReadRequest(MemLocation(0, rank, bank, row, 0), 0.0,
+                       lambda t: None)
+
+
+def test_fmr_write_mode_is_conventional():
+    """FMR never changes frequency: write-mode entry costs only the
+    bus turnaround, and the channel stays at specification."""
+    ch = _channel()
+    p = FmrPolicy()
+    t = p.enter_write_mode(ch, 100.0)
+    assert t == pytest.approx(100.0 + CONVENTIONAL_TURNAROUND_NS)
+    assert ch.timing.data_rate_mts == 3200
+    t2 = p.exit_write_mode(ch, t)
+    assert t2 == pytest.approx(t + CONVENTIONAL_TURNAROUND_NS)
+
+
+def test_fmr_no_cleaning():
+    assert FmrPolicy().write_batch_extra(0.0) == []
+
+
+def test_fmr_read_complete_is_free():
+    ch = _channel()
+    assert FmrPolicy().on_read_complete(ch, _req(), 50.0) == 50.0
+
+
+def test_fmr_vs_hdmr_transition_cost():
+    """The 1 us transitions are unique to Hetero-DMR."""
+    ch_f, ch_h = _channel(), _channel()
+    ch_h.to_fast(0.0)
+    t_f = FmrPolicy().enter_write_mode(ch_f, 10_000.0) - 10_000.0
+    t_h = HeteroDMRPolicy().enter_write_mode(ch_h, 10_000.0) - 10_000.0
+    assert t_h >= 50 * t_f

@@ -1,0 +1,34 @@
+"""Extra Monte Carlo properties: selection dominance and topology
+monotonicity."""
+
+from repro.characterization import MarginMonteCarlo
+
+
+def test_margin_aware_dominates_unaware_everywhere():
+    mc = MarginMonteCarlo()
+    aware = mc.channel_margins(5000, True)
+    unaware = mc.channel_margins(5000, False)
+    for threshold in (400, 600, 800, 1000):
+        assert aware.fraction_at_least(threshold) >= \
+            unaware.fraction_at_least(threshold) - 1e-9
+
+
+def test_more_channels_lower_node_margin():
+    """The min over more channels can only shrink."""
+    mc = MarginMonteCarlo()
+    few = mc.node_margins(2000, True, channels_per_node=4)
+    many = mc.node_margins(2000, True, channels_per_node=24)
+    assert many.fraction_at_least(800) <= few.fraction_at_least(800)
+
+
+def test_more_modules_per_channel_raise_aware_margin():
+    """More slots = a better best module under margin-aware picks."""
+    mc = MarginMonteCarlo()
+    two = mc.channel_margins(5000, True, modules_per_channel=2)
+    four = mc.channel_margins(5000, True, modules_per_channel=4)
+    assert four.fraction_at_least(1000) >= two.fraction_at_least(1000)
+
+
+def test_histogram_counts_sum_to_trials():
+    dist = MarginMonteCarlo().channel_margins(1234, True)
+    assert sum(dist.histogram().values()) == 1234

@@ -1,0 +1,118 @@
+"""Integration tests for the single-node performance simulator."""
+
+import pytest
+
+from repro.sim import NodeConfig, simulate_node
+from repro.sim.node import NodeSimulation
+from repro.dram.timing import exploit_freq_lat_margins
+from tests.conftest import tiny_hierarchy
+
+
+def _cfg(**kw):
+    kw.setdefault("hierarchy", tiny_hierarchy())
+    kw.setdefault("refs_per_core", 800)
+    kw.setdefault("suite", "linpack")
+    return NodeConfig(**kw)
+
+
+def test_simulation_completes_and_counts():
+    r = simulate_node(_cfg())
+    assert r.time_ns > 0
+    assert r.instructions > 0
+    assert r.dram_reads > 0
+    assert 0 < r.ipc < 8
+
+
+def test_determinism():
+    a = simulate_node(_cfg())
+    b = simulate_node(_cfg())
+    assert a.time_ns == b.time_ns
+    assert a.dram_reads == b.dram_reads
+
+
+def test_seed_changes_outcome():
+    a = simulate_node(_cfg(seed=1))
+    b = simulate_node(_cfg(seed=2))
+    assert a.time_ns != b.time_ns
+
+
+def test_invalid_design_rejected():
+    with pytest.raises(ValueError):
+        NodeConfig(design="magic")
+
+
+def test_invalid_utilization_rejected():
+    with pytest.raises(ValueError):
+        NodeConfig(memory_utilization=1.5)
+
+
+def test_faster_timing_is_faster():
+    slow = simulate_node(_cfg())
+    fast = simulate_node(_cfg(timing=exploit_freq_lat_margins()))
+    assert fast.time_ns < slow.time_ns
+
+
+def test_hetero_dmr_regresses_at_high_utilization():
+    r = simulate_node(_cfg(design="hetero-dmr", memory_utilization=0.8))
+    assert r.effective_design == "baseline"
+    assert r.transitions == 0
+
+
+def test_hetero_dmr_active_at_low_utilization():
+    r = simulate_node(_cfg(design="hetero-dmr", memory_utilization=0.2))
+    assert r.effective_design == "hetero-dmr"
+    assert r.self_refresh_rank_ns > 0       # originals slept
+
+
+def test_hetero_fmr_buckets():
+    low = simulate_node(_cfg(design="hetero-dmr+fmr",
+                             memory_utilization=0.2))
+    mid = simulate_node(_cfg(design="hetero-dmr+fmr",
+                             memory_utilization=0.4))
+    assert low.effective_design == "hetero-dmr+fmr"
+    assert mid.effective_design == "hetero-dmr"
+
+
+def test_write_share_positive_for_store_heavy_suite():
+    r = simulate_node(_cfg(refs_per_core=3000))
+    assert r.dram_writes > 0
+    assert 0.0 < r.write_share < 0.5
+
+
+def test_bus_utilization_bounded():
+    r = simulate_node(_cfg())
+    assert 0.0 < r.bus_utilization <= 1.0
+
+
+def test_dram_accesses_per_instruction_positive():
+    r = simulate_node(_cfg())
+    assert r.dram_accesses_per_instruction > 0
+
+
+def test_prefetchers_can_be_disabled():
+    on = simulate_node(_cfg(refs_per_core=1500))
+    off = simulate_node(_cfg(refs_per_core=1500, use_prefetchers=False))
+    assert on.dram_reads != off.dram_reads
+
+
+def test_safety_invariant_holds_throughout():
+    """The channel-level safety check is armed during every Hetero-DMR
+    simulation; completing without SafetyViolation proves originals
+    were never touched outside spec."""
+    sim = NodeSimulation(_cfg(design="hetero-dmr", memory_utilization=0.1,
+                              refs_per_core=1200))
+    for ch in sim.channels:
+        assert ch.enforce_safety
+    r = sim.run()
+    assert r.transitions >= 1
+
+
+def test_error_injection_slows_hetero_dmr():
+    clean = simulate_node(_cfg(design="hetero-dmr",
+                               memory_utilization=0.2,
+                               refs_per_core=1200))
+    noisy = simulate_node(_cfg(design="hetero-dmr",
+                               memory_utilization=0.2,
+                               refs_per_core=1200,
+                               read_error_rate=0.01))
+    assert noisy.time_ns > clean.time_ns

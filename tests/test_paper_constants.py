@@ -1,0 +1,70 @@
+"""Cross-module consistency checks for the paper's headline constants."""
+
+import pytest
+
+from repro.core.config import (HeteroDMRConfig, WRITE_BATCH_TARGET,
+                               REPLICATION_UTILIZATION_LIMIT,
+                               DUAL_COPY_UTILIZATION_LIMIT)
+from repro.dram.frequency import TRANSITION_NS
+from repro.dram.timing import TABLE2_SETTINGS, exploit_freq_lat_margins
+from repro.ecc.policy import BILLION_YEARS_HOURS, SERVER_MTTSDC_YEARS
+from repro.hpc.traces import (GRIZZLY_CORES_PER_NODE, GRIZZLY_JOB_COUNT,
+                              GRIZZLY_MEMORY_GB_PER_NODE, GRIZZLY_NODES,
+                              GRIZZLY_UTILIZATION)
+from repro.sim.runner import MARGIN_WEIGHTS, USAGE_WEIGHTS
+from repro.workloads import AVERAGE_MPI_FRACTION, AVERAGE_WRITE_SHARE
+
+
+def test_write_batch_is_100x_conventional():
+    """128-entry buffer x 100 = 12800 writes per batch."""
+    assert WRITE_BATCH_TARGET == 128 * 100
+
+
+def test_transition_is_one_microsecond():
+    assert TRANSITION_NS == 1000.0
+
+
+def test_transition_is_about_100x_turnaround():
+    from repro.mem_ctrl.policy import CONVENTIONAL_TURNAROUND_NS
+    assert TRANSITION_NS / (2 * CONVENTIONAL_TURNAROUND_NS) == 50.0
+
+
+def test_replication_limits():
+    assert REPLICATION_UTILIZATION_LIMIT == 0.50
+    assert DUAL_COPY_UTILIZATION_LIMIT == 0.25
+
+
+def test_hdmr_uses_freq_lat_margins_by_default():
+    assert HeteroDMRConfig().fast_timing() == exploit_freq_lat_margins()
+
+
+def test_grizzly_constants():
+    assert GRIZZLY_NODES == 1490
+    assert GRIZZLY_CORES_PER_NODE == 36
+    assert GRIZZLY_MEMORY_GB_PER_NODE == 128
+    assert GRIZZLY_JOB_COUNT == 58_000
+    assert GRIZZLY_UTILIZATION == pytest.approx(0.78)
+
+
+def test_margin_weights_are_node_group_fractions():
+    assert MARGIN_WEIGHTS[800] == 0.62
+    assert MARGIN_WEIGHTS[600] == 0.36
+
+
+def test_usage_weights_sum_to_one():
+    assert sum(USAGE_WEIGHTS.values()) == pytest.approx(1.0)
+
+
+def test_workload_averages_near_paper():
+    assert AVERAGE_WRITE_SHARE == pytest.approx(0.15)
+    assert AVERAGE_MPI_FRACTION == pytest.approx(0.13)
+
+
+def test_mttsdc_budget_arithmetic():
+    assert BILLION_YEARS_HOURS == 1_000_000_000 * 365 * 24
+    assert SERVER_MTTSDC_YEARS == 1000
+
+
+def test_table2_rates():
+    rates = [t.data_rate_mts for t in TABLE2_SETTINGS.values()]
+    assert rates == [3200, 3200, 4000, 4000]

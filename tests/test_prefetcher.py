@@ -1,0 +1,89 @@
+"""Tests for stride and next-line prefetchers."""
+
+from repro.cache.cache import LINE_BYTES
+from repro.cache.prefetcher import NextLinePrefetcher, StridePrefetcher
+
+
+def test_stride_needs_confirmation():
+    p = StridePrefetcher(degree=2)
+    assert p.observe(0) == []
+    assert p.observe(LINE_BYTES) == []          # stride seen once
+    out = p.observe(2 * LINE_BYTES)             # confirmed
+    assert out == [3 * LINE_BYTES, 4 * LINE_BYTES]
+
+
+def test_stride_detects_non_unit_stride():
+    p = StridePrefetcher(degree=1)
+    step = 4 * LINE_BYTES
+    p.observe(0)
+    p.observe(step)
+    out = p.observe(2 * step)
+    assert out == [3 * step]
+
+
+def test_stride_resets_on_break():
+    p = StridePrefetcher(degree=1)
+    p.observe(0)
+    p.observe(LINE_BYTES)
+    p.observe(2 * LINE_BYTES)
+    assert p.observe(50 * LINE_BYTES) == []     # stride broken
+
+
+def test_stride_separate_streams_by_region():
+    p = StridePrefetcher(degree=1)
+    base2 = 1 << 20
+    p.observe(0); p.observe(base2)
+    p.observe(LINE_BYTES); p.observe(base2 + LINE_BYTES)
+    out1 = p.observe(2 * LINE_BYTES)
+    out2 = p.observe(base2 + 2 * LINE_BYTES)
+    assert out1 and out2
+
+
+def test_stride_table_eviction():
+    p = StridePrefetcher(degree=1, table_size=2)
+    for i in range(5):
+        p.observe(i << 20)
+    assert len(p._table) <= 2
+
+
+def test_stride_zero_same_line_ignored():
+    p = StridePrefetcher()
+    p.observe(0)
+    assert p.observe(0) == []
+
+
+def test_nextline_prefetches_on_miss():
+    p = NextLinePrefetcher()
+    out = p.observe(0, was_hit=False)
+    assert out == [LINE_BYTES]
+
+
+def test_nextline_silent_on_hit():
+    p = NextLinePrefetcher()
+    assert p.observe(0, was_hit=True) == []
+
+
+def test_nextline_accuracy_credit():
+    p = NextLinePrefetcher()
+    p.observe(0, was_hit=False)
+    p.observe(LINE_BYTES, was_hit=True)   # used the prefetched line
+    assert p.stats.useful == 1
+
+
+def test_nextline_auto_turn_off():
+    p = NextLinePrefetcher(window=8, threshold=0.5, probation=16)
+    # Issue 8 useless prefetches (random far-apart misses).
+    for i in range(8):
+        p.observe(i << 20, was_hit=False)
+    assert not p.enabled
+    assert p.stats.turned_off_windows == 1
+
+
+def test_nextline_reenables_after_probation():
+    p = NextLinePrefetcher(window=4, threshold=0.9, probation=3)
+    for i in range(4):
+        p.observe(i << 20, was_hit=False)
+    assert not p.enabled
+    for i in range(3):
+        p.observe(i << 21, was_hit=False)
+    assert p.enabled

@@ -1,0 +1,52 @@
+"""Integration: margin profiling feeds the margin-aware scheduler.
+
+The operational loop the paper sketches: profile each node's modules
+at boot, bucket nodes by margin, and let the margin-aware scheduler
+group jobs onto uniform-margin nodes.
+"""
+
+from repro.characterization import ModulePopulation
+from repro.core import NodeMarginProfiler
+from repro.hpc import (Cluster, EasyBackfillScheduler,
+                       MarginAwareAllocationPolicy, PerformanceModel,
+                       SystemSimulator, TraceConfig, generate_trace)
+
+POP = ModulePopulation()
+
+
+def _profile_fleet(n_nodes=24, channels_per_node=2, modules_per_ch=2):
+    """Profile synthetic nodes built from slices of the population."""
+    mods = [m for m in POP.major_brands()]
+    profiler = NodeMarginProfiler()
+    buckets = []
+    stride = channels_per_node * modules_per_ch
+    for i in range(n_nodes):
+        start = (i * stride) % (len(mods) - stride)
+        channels = [mods[start + c * modules_per_ch:
+                         start + (c + 1) * modules_per_ch]
+                    for c in range(channels_per_node)]
+        buckets.append(profiler.profile(channels, now_s=0.0)
+                       .margin_bucket)
+    return buckets
+
+
+def test_profiled_buckets_are_valid():
+    buckets = _profile_fleet()
+    assert set(buckets) <= {800, 600, 0}
+    assert any(b > 0 for b in buckets)
+
+
+def test_profiled_fleet_drives_system_sim():
+    buckets = _profile_fleet(n_nodes=32)
+    fractions = {m: buckets.count(m) / len(buckets)
+                 for m in (800, 600, 0)}
+    cluster = Cluster(64, group_fractions=fractions)
+    jobs = generate_trace(TraceConfig(job_count=150, total_nodes=64))
+    result = SystemSimulator(
+        cluster, EasyBackfillScheduler(MarginAwareAllocationPolicy()),
+        PerformanceModel()).run(jobs)
+    assert len(result.jobs) == 150
+    # Jobs on all-fast nodes ran faster than their base runtime.
+    sped_up = [j for j in result.jobs
+               if j.runtime_s < j.base_runtime_s - 1e-9]
+    assert sped_up

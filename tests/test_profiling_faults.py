@@ -1,0 +1,108 @@
+"""Tests for margin profiling and permanent-fault remapping (III-E)."""
+
+import pytest
+
+from repro.characterization import ModulePopulation, TestMachine
+from repro.core import (HeteroDMRManager, NodeMarginProfiler, NodeProfile)
+from repro.dram import Channel, FrequencyState, Module, ModuleSpec
+
+POP = ModulePopulation()
+
+
+def _channels(n=3, per=2):
+    mods = [m for m in POP.major_brands()]
+    return [mods[i * per:(i + 1) * per] for i in range(n)]
+
+
+def test_profile_measures_every_module():
+    prof = NodeMarginProfiler().profile(_channels(), now_s=0.0)
+    assert len(prof.per_module_margins) == 6
+    assert len(prof.channel_margins) == 3
+
+
+def test_node_margin_is_min_of_channels():
+    prof = NodeMarginProfiler().profile(_channels(), now_s=0.0)
+    assert prof.node_margin_mts == min(prof.channel_margins)
+
+
+def test_guard_band_derates():
+    channels = _channels()
+    plain = NodeMarginProfiler().profile(channels, now_s=0.0)
+    banded = NodeMarginProfiler(guard_band_mts=200).profile(
+        channels, now_s=0.0)
+    assert banded.node_margin_mts <= plain.node_margin_mts - 200 + 1e-9
+
+
+def test_guard_band_validation():
+    with pytest.raises(ValueError):
+        NodeMarginProfiler(guard_band_mts=-1)
+
+
+def test_reprofile_interval():
+    p = NodeMarginProfiler(reprofile_interval_s=100.0)
+    assert p.needs_reprofile(0.0)
+    p.profile(_channels(), now_s=0.0)
+    assert not p.needs_reprofile(50.0)
+    assert p.needs_reprofile(150.0)
+
+
+def test_margin_bucket_on_profile():
+    prof = NodeMarginProfiler().profile(_channels(), now_s=0.0)
+    assert prof.margin_bucket in (800, 600, 0)
+
+
+def _manager_with_data():
+    ch = Channel(index=0)
+    ch.modules = [Module(ModuleSpec(), "M0", true_margin_mts=600),
+                  Module(ModuleSpec(), "M1", true_margin_mts=800)]
+    mgr = HeteroDMRManager(ch)
+    data = {}
+    for i in range(12):
+        payload = [(3 * i + j) % 256 for j in range(64)]
+        mgr.write(i * 64, payload)
+        data[i * 64] = payload
+    mgr.observe_utilization(0.2)
+    return mgr, data
+
+
+def test_fault_swap_moves_copies_to_good_module():
+    mgr, data = _manager_with_data()
+    old_free = mgr.free_module_index
+    assert mgr.report_permanent_fault(old_free)
+    assert mgr.free_module_index != old_free
+    faulty = mgr.channel.modules[old_free]
+    assert not faulty.holds_copies
+
+
+def test_fault_swap_preserves_data():
+    mgr, data = _manager_with_data()
+    mgr.enter_read_mode()
+    mgr.report_permanent_fault(mgr.free_module_index)
+    for addr, payload in data.items():
+        assert list(mgr.read(addr)) == payload
+
+
+def test_fault_swap_resumes_read_mode():
+    mgr, _ = _manager_with_data()
+    mgr.enter_read_mode()
+    mgr.report_permanent_fault(mgr.free_module_index)
+    assert mgr.channel.frequency.state is FrequencyState.FAST
+
+
+def test_fault_in_original_module_is_noop():
+    mgr, _ = _manager_with_data()
+    original_index = 1 - mgr.free_module_index
+    assert not mgr.report_permanent_fault(original_index)
+
+
+def test_fault_without_replication_is_noop():
+    ch = Channel(index=0)
+    ch.modules = [Module(ModuleSpec(), "M0"), Module(ModuleSpec(), "M1")]
+    mgr = HeteroDMRManager(ch)
+    assert not mgr.report_permanent_fault(1)
+
+
+def test_fault_index_validation():
+    mgr, _ = _manager_with_data()
+    with pytest.raises(IndexError):
+        mgr.report_permanent_fault(7)

@@ -1,0 +1,162 @@
+"""Tests for the JEDEC protocol checker."""
+
+import pytest
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.protocol import (ProtocolChecker, ProtocolViolation,
+                                 TimedCommand)
+from repro.dram.timing import manufacturer_spec_3200
+
+T = manufacturer_spec_3200()
+
+
+def _act(t, rank=0, bank=0, row=1):
+    return TimedCommand(t, rank, Command(CommandType.ACTIVATE, bank=bank,
+                                         row=row))
+
+
+def _rd(t, rank=0, bank=0, col=0):
+    return TimedCommand(t, rank, Command(CommandType.READ, bank=bank,
+                                         column=col))
+
+
+def _pre(t, rank=0, bank=0):
+    return TimedCommand(t, rank, Command(CommandType.PRECHARGE, bank=bank))
+
+
+def test_legal_open_read_close():
+    c = ProtocolChecker(T)
+    c.check(_act(0.0))
+    c.check(_rd(T.tRCD_ns))
+    c.check(_pre(T.tRAS_ns))
+    c.check(_act(T.tRAS_ns + T.tRP_ns, row=2))
+    assert c.commands_checked == 4
+
+
+def test_read_before_trcd_rejected():
+    c = ProtocolChecker(T)
+    c.check(_act(0.0))
+    with pytest.raises(ProtocolViolation, match="tRCD"):
+        c.check(_rd(T.tRCD_ns - 1.0))
+
+
+def test_read_to_closed_bank_rejected():
+    c = ProtocolChecker(T)
+    with pytest.raises(ProtocolViolation, match="precharged"):
+        c.check(_rd(0.0))
+
+
+def test_precharge_before_tras_rejected():
+    c = ProtocolChecker(T)
+    c.check(_act(0.0))
+    with pytest.raises(ProtocolViolation, match="tRAS"):
+        c.check(_pre(T.tRAS_ns - 1.0))
+
+
+def test_activate_open_bank_rejected():
+    c = ProtocolChecker(T)
+    c.check(_act(0.0))
+    with pytest.raises(ProtocolViolation, match="open bank"):
+        c.check(_act(100.0, row=9))
+
+
+def test_trc_between_same_bank_activates():
+    # With tRC = tRAS + tRP the two rules coincide; an activate one
+    # nanosecond early must trip one of them.
+    c = ProtocolChecker(T)
+    c.check(_act(0.0))
+    c.check(_pre(T.tRAS_ns))
+    with pytest.raises(ProtocolViolation, match="tR[PC]"):
+        c.check(_act(T.tRC_ns - 1.0, row=2))
+
+
+def test_trrd_across_banks():
+    c = ProtocolChecker(T)
+    c.check(_act(0.0, bank=0))
+    with pytest.raises(ProtocolViolation, match="tRRD"):
+        c.check(_act(1.0, bank=1))
+
+
+def test_tfaw_window():
+    # Use a realistic tRRD_S so four activates fit inside tFAW.
+    from dataclasses import replace
+    fast_rrd = replace(T, tRRD_ns=2.5)
+    c = ProtocolChecker(fast_rrd)
+    step = 2.6
+    for i in range(4):
+        c.check(_act(i * step, bank=i))
+    with pytest.raises(ProtocolViolation, match="tFAW"):
+        c.check(_act(4 * step, bank=4))
+
+
+def test_tccd_spacing():
+    c = ProtocolChecker(T)
+    c.check(_act(0.0))
+    c.check(_rd(T.tRCD_ns))
+    with pytest.raises(ProtocolViolation, match="tCCD"):
+        c.check(_rd(T.tRCD_ns + T.tCCD_ns - 1.0, col=1))
+
+
+def test_refresh_blocks_commands_for_trfc():
+    c = ProtocolChecker(T)
+    c.check(TimedCommand(0.0, 0, Command(CommandType.REFRESH)))
+    with pytest.raises(ProtocolViolation, match="tRFC"):
+        c.check(_act(T.tRFC_ns - 10.0))
+    c2 = ProtocolChecker(T)
+    c2.check(TimedCommand(0.0, 0, Command(CommandType.REFRESH)))
+    c2.check(_act(T.tRFC_ns + 1.0))
+
+
+def test_refresh_with_open_bank_rejected():
+    c = ProtocolChecker(T)
+    c.check(_act(0.0))
+    with pytest.raises(ProtocolViolation, match="REF with bank open"):
+        c.check(TimedCommand(100.0, 0, Command(CommandType.REFRESH)))
+
+
+def test_self_refresh_blocks_everything_but_exit():
+    c = ProtocolChecker(T)
+    c.check(TimedCommand(0.0, 0,
+                         Command(CommandType.SELF_REFRESH_ENTER)))
+    with pytest.raises(ProtocolViolation, match="self-refresh"):
+        c.check(_act(100.0))
+    c.check(TimedCommand(200.0, 0,
+                         Command(CommandType.SELF_REFRESH_EXIT)))
+    c.check(_act(200.0 + T.tRFC_ns + 1.0))
+
+
+def test_srx_without_sre_rejected():
+    c = ProtocolChecker(T)
+    with pytest.raises(ProtocolViolation, match="not in self-refresh"):
+        c.check(TimedCommand(0.0, 0,
+                             Command(CommandType.SELF_REFRESH_EXIT)))
+
+
+def test_out_of_order_stream_rejected():
+    c = ProtocolChecker(T)
+    c.check(_act(100.0))
+    with pytest.raises(ProtocolViolation, match="time-ordered"):
+        c.check(_act(50.0, bank=3))
+
+
+def test_ranks_independent():
+    c = ProtocolChecker(T)
+    c.check(_act(0.0, rank=0))
+    # A different rank is not bound by rank 0's tRRD.
+    c.check(_act(0.5, rank=1))
+
+
+def test_set_timing_mid_stream():
+    """Frequency transitions swap the timing set (Hetero-DMR)."""
+    from repro.dram.timing import exploit_freq_lat_margins
+    c = ProtocolChecker(T)
+    c.check(_act(0.0))
+    c.set_timing(exploit_freq_lat_margins())
+    # The relaxed tRCD (11.5 ns) is now sufficient.
+    c.check(_rd(12.0))
+
+
+def test_check_stream_batch():
+    c = ProtocolChecker(T)
+    n = c.check_stream([_act(0.0), _rd(T.tRCD_ns)])
+    assert n == 2

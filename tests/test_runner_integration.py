@@ -1,0 +1,62 @@
+"""Tests for the experiment runner and an end-to-end pipeline check."""
+
+import pytest
+
+from repro.sim.runner import (BUCKET_UTILIZATION, ExperimentRunner,
+                              MARGIN_WEIGHTS, USAGE_WEIGHTS)
+from repro.hpc import (Cluster, EasyBackfillScheduler,
+                       MarginAwareAllocationPolicy, PerformanceModel,
+                       SystemSimulator, TraceConfig, generate_trace)
+from tests.conftest import tiny_hierarchy
+
+
+def test_weights_match_paper():
+    assert MARGIN_WEIGHTS == {800: 0.62, 600: 0.36}
+    assert USAGE_WEIGHTS["0-25"] == pytest.approx(0.62)
+    assert sum(USAGE_WEIGHTS.values()) == pytest.approx(1.0)
+    assert set(BUCKET_UTILIZATION) == set(USAGE_WEIGHTS)
+
+
+def test_runner_caches_simulations():
+    runner = ExperimentRunner(refs_per_core=400)
+    hier = tiny_hierarchy()
+    a = runner.run("linpack", hier)
+    b = runner.run("linpack", hier)
+    assert a is b
+    assert len(runner._cache) == 1
+
+
+def test_design_speedup_sane():
+    runner = ExperimentRunner(refs_per_core=600)
+    hier = tiny_hierarchy()
+    sp = runner.design_speedup("linpack", hier, "hetero-dmr", 800, "0-25")
+    assert 0.5 < sp < 2.0
+
+
+def test_50_100_bucket_collapses_to_baseline():
+    runner = ExperimentRunner(refs_per_core=600)
+    hier = tiny_hierarchy()
+    sp = runner.design_speedup("linpack", hier, "hetero-dmr", 800,
+                               "50-100")
+    assert sp == pytest.approx(1.0, abs=1e-9)
+
+
+def test_end_to_end_node_to_system_pipeline():
+    """Measured node speedups feed the system simulator, as in the
+    paper's Section IV-C methodology."""
+    runner = ExperimentRunner(refs_per_core=500)
+    hier = tiny_hierarchy()
+    sp800 = max(1.0, runner.design_speedup("linpack", hier,
+                                           "hetero-dmr", 800, "0-25"))
+    pm = PerformanceModel(speedups={
+        800: {"under_25": sp800, "25_to_50": sp800, "over_50": 1.0},
+        600: {"under_25": 1.0 + (sp800 - 1.0) * 0.7,
+              "25_to_50": 1.0 + (sp800 - 1.0) * 0.7, "over_50": 1.0},
+        0: {"under_25": 1.0, "25_to_50": 1.0, "over_50": 1.0}})
+    jobs = generate_trace(TraceConfig(job_count=250, total_nodes=48))
+    conv = SystemSimulator(Cluster(48)).run(jobs)
+    fast = SystemSimulator(Cluster(48),
+                           EasyBackfillScheduler(
+                               MarginAwareAllocationPolicy()),
+                           pm).run(jobs)
+    assert fast.mean_turnaround_s() <= conv.mean_turnaround_s()

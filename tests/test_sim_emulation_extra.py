@@ -1,0 +1,46 @@
+"""Extra coverage: emulation result dataclass, runner tables, engine
+edge cases, and NodeResult derived metrics."""
+
+import pytest
+
+from repro.sim.emulation import EmulationResult
+from repro.sim.node import NodeConfig, NodeResult
+
+
+def _result(**kw):
+    base = dict(config=NodeConfig(), time_ns=1000.0, instructions=5000.0,
+                dram_reads=100, dram_writes=20, dram_write_bursts=40,
+                cleaning_writes=5, cleaned_rewrites=1,
+                write_mode_entries=2, mean_read_latency_ns=100.0,
+                bus_utilization=0.5, row_hit_rate=0.6,
+                llc_miss_rate=0.3, activates=50, refreshes=3,
+                transitions=4, self_refresh_rank_ns=200.0,
+                effective_design="hetero-dmr")
+    base.update(kw)
+    return NodeResult(**base)
+
+
+def test_node_result_ipc():
+    r = _result()
+    assert r.ipc == pytest.approx(5000.0 / (1000.0 * 3.1))
+
+
+def test_node_result_access_metrics():
+    r = _result()
+    assert r.dram_accesses == 120
+    assert r.dram_accesses_per_instruction == pytest.approx(120 / 5000)
+    assert r.write_share == pytest.approx(20 / 120)
+
+
+def test_node_result_zero_guards():
+    r = _result(time_ns=0.0, instructions=0.0, dram_reads=0,
+                dram_writes=0)
+    assert r.ipc == 0.0
+    assert r.write_share == 0.0
+    assert r.dram_accesses_per_instruction == 0.0
+
+
+def test_emulation_result_formula():
+    em = EmulationResult(exec_fast_ns=1000.0, write_time_fast_ns=100.0,
+                         write_time_slow_ns=125.0)
+    assert em.emulated_exec_ns == pytest.approx(1025.0)

@@ -1,0 +1,68 @@
+"""Measurement-procedure properties of the characterization testbench."""
+
+import pytest
+
+from repro.characterization import (ModulePopulation, TestMachine,
+                                    PLATFORM_CAP_MTS)
+from repro.characterization.modules import SyntheticModule
+from repro.dram.module import ModuleSpec
+
+POP = ModulePopulation()
+
+
+def _module(margin, boot_extra=300.0, spec=3200):
+    return SyntheticModule(
+        module_id="T1",
+        spec=ModuleSpec(spec_data_rate_mts=spec),
+        true_margin_mts=margin, boot_margin_mts=margin + boot_extra,
+        voltage_uplift_mts=300.0, ce_rate_per_hour=1.0,
+        ue_rate_per_hour=0.0)
+
+
+def test_margin_snapped_to_step():
+    machine = TestMachine()
+    meas = machine.measure_margin(_module(750))
+    assert meas.margin_mts % 200 == 0
+
+
+def test_measured_close_to_true_margin():
+    machine = TestMachine()
+    for margin in (400, 600, 800):
+        meas = machine.measure_margin(_module(float(margin), spec=2400))
+        assert abs(meas.margin_mts - margin) <= 200
+
+
+def test_boot_margin_bounds_max_bootable():
+    machine = TestMachine()
+    m = _module(500.0, boot_extra=250.0)
+    meas = machine.measure_margin(m)
+    assert meas.max_bootable_mts <= m.spec.spec_data_rate_mts + \
+        m.boot_margin_mts
+
+
+def test_zero_margin_module():
+    machine = TestMachine()
+    meas = machine.measure_margin(_module(10.0, boot_extra=50.0))
+    assert meas.margin_mts == 0
+
+
+def test_cap_flag_set():
+    machine = TestMachine()
+    meas = machine.measure_margin(_module(2000.0, boot_extra=2000.0))
+    assert meas.hit_platform_cap
+    assert meas.margin_mts <= PLATFORM_CAP_MTS - 3200
+
+
+def test_measurement_counts_tests():
+    machine = TestMachine()
+    meas = machine.measure_margin(_module(600.0))
+    assert meas.tests_run >= 3      # at least up to the failing step
+
+
+def test_repeat_measurement_within_one_step():
+    """Margin jitter may move a repeat measurement by at most one
+    200 MT/s step — as real margin measurements do."""
+    m = POP.major_brands()[5]
+    a = TestMachine(seed=1).measure_margin(m).margin_mts
+    b = TestMachine(seed=2).measure_margin(m).margin_mts
+    assert abs(a - b) <= 200

@@ -1,0 +1,105 @@
+"""Tests for the RAS telemetry / margin advisor."""
+
+import pytest
+
+from repro.errors.telemetry import (MarginAdvisor, ModuleErrorLog,
+                                    NS_PER_HOUR)
+
+
+def test_log_counts_ce_ue():
+    log = ModuleErrorLog("A1")
+    log.record(0.0, 0x40, corrected=True)
+    log.record(1.0, 0x80, corrected=False)
+    assert (log.total_ce, log.total_ue) == (1, 1)
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        ModuleErrorLog("A1", window_ns=0)
+
+
+def test_rate_per_hour_window():
+    log = ModuleErrorLog("A1", window_ns=NS_PER_HOUR)
+    for i in range(10):
+        log.record(i * 1e9, i, corrected=True)
+    assert log.rate_per_hour(10e9, corrected=True) == 10.0
+    # An hour later, the window is empty.
+    assert log.rate_per_hour(NS_PER_HOUR + 11e9) == 0.0
+
+
+def test_rate_filters_by_kind():
+    log = ModuleErrorLog("A1")
+    log.record(0.0, 1, corrected=True)
+    log.record(0.0, 2, corrected=False)
+    assert log.rate_per_hour(0.0, corrected=True) == 1.0
+    assert log.rate_per_hour(0.0, corrected=False) == 1.0
+    assert log.rate_per_hour(0.0) == 2.0
+
+
+def test_repeat_addresses_flag_permanent_faults():
+    log = ModuleErrorLog("A1")
+    for t in range(3):
+        log.record(float(t), 0x1000, corrected=True)
+    log.record(4.0, 0x2000, corrected=True)
+    assert log.repeat_addresses() == [0x1000]
+
+
+def test_advisor_keep_when_quiet():
+    adv = MarginAdvisor()
+    adv.record(0.0, "A1", 0x40, corrected=True)
+    advice = adv.advise("A1", 0.0)
+    assert advice.action == "keep"
+
+
+def test_advisor_disable_on_ue():
+    adv = MarginAdvisor()
+    adv.record(0.0, "A1", 0x40, corrected=False)
+    assert adv.advise("A1", 0.0).action == "disable"
+
+
+def test_advisor_demote_on_ce_storm():
+    adv = MarginAdvisor(demote_ce_rate=5.0)
+    for i in range(10):
+        adv.record(0.0, "A1", i, corrected=True)
+    advice = adv.advise("A1", 0.0)
+    assert advice.action == "demote"
+    assert "CE rate" in advice.reason
+
+
+def test_advisor_validates_threshold():
+    with pytest.raises(ValueError):
+        MarginAdvisor(demote_ce_rate=0)
+
+
+def test_fleet_summary():
+    adv = MarginAdvisor(demote_ce_rate=1.5)
+    adv.record(0.0, "A1", 1, corrected=True)               # keep
+    adv.record(0.0, "B1", 1, corrected=False)              # disable
+    for i in range(5):
+        adv.record(0.0, "C1", i, corrected=True)           # demote
+    assert adv.fleet_summary(0.0) == {"keep": 1, "demote": 1,
+                                      "disable": 1}
+
+
+def test_advisor_recovers_after_window():
+    adv = MarginAdvisor()
+    adv.record(0.0, "A1", 1, corrected=False)
+    assert adv.advise("A1", 0.0).action == "disable"
+    assert adv.advise("A1", 2 * NS_PER_HOUR).action == "keep"
+
+
+def test_manager_feeds_telemetry():
+    """Detected copy errors flow into the RAS advisor."""
+    from repro.core import HeteroDMRManager
+    from repro.dram import Channel, Module, ModuleSpec
+    ch = Channel(index=0)
+    ch.modules = [Module(ModuleSpec(), "M0"), Module(ModuleSpec(), "M1")]
+    adv = MarginAdvisor()
+    mgr = HeteroDMRManager(ch, telemetry=adv)
+    mgr.write(0, list(range(64)))
+    mgr.observe_utilization(0.2)
+    mgr.enter_read_mode()
+    mgr.corrupt_copy(0, [0xEE] * 72)
+    mgr.read(0)
+    free_id = ch.modules[mgr.free_module_index].module_id
+    assert adv.log_for(free_id).total_ce == 1

@@ -1,0 +1,44 @@
+"""Tests for the hot/cold phase structure of the trace generators."""
+
+from dataclasses import replace
+
+from repro.workloads import TraceGenerator, get_profile
+
+
+def _gaps(profile, n=6000):
+    return [r.gap_cycles for r in TraceGenerator(profile, 0, 3).records(n)]
+
+
+def test_hot_fraction_controls_mean_gap():
+    prof = get_profile("linpack")
+    hot = replace(prof, hot_fraction=0.95)
+    cold = replace(prof, hot_fraction=0.30)
+    assert sum(_gaps(cold)) > sum(_gaps(hot)) * 1.5
+
+
+def test_cold_multiplier_stretches_gaps():
+    prof = get_profile("npb")
+    mild = replace(prof, cold_gap_multiplier=2.0)
+    harsh = replace(prof, cold_gap_multiplier=40.0)
+    assert sum(_gaps(harsh)) > sum(_gaps(mild))
+
+
+def test_phases_cluster_gaps():
+    """Cold gaps arrive in runs, not uniformly scattered."""
+    prof = replace(get_profile("linpack"), hot_fraction=0.5,
+                   cold_gap_multiplier=30.0, phase_length_refs=256)
+    gaps = _gaps(prof, 8000)
+    threshold = 3 * prof.gap_cycles_mean
+    big = [g > threshold for g in gaps]
+    # Adjacent references agree on hot/cold far more often than
+    # independent coin flips would (~50%).
+    agree = sum(1 for a, b in zip(big, big[1:]) if a == b) / (len(big) - 1)
+    assert agree > 0.75
+
+
+def test_all_profiles_have_phase_parameters():
+    from repro.workloads import PROFILES
+    for prof in PROFILES.values():
+        assert 0.0 < prof.hot_fraction <= 1.0
+        assert prof.cold_gap_multiplier >= 1.0
+        assert prof.phase_length_refs > 0

@@ -1,0 +1,83 @@
+"""Write-mode semantics: chunked draining, read interleaving, and the
+Hetero-DMR frequency choreography at the controller level."""
+
+import pytest
+
+from repro.core.policies import BaselinePolicy, HeteroDMRPolicy
+from repro.dram import (Channel, FrequencyState, Module, ModuleSpec,
+                        exploit_freq_lat_margins)
+from repro.mem_ctrl.address_map import AddressMapping
+from repro.mem_ctrl.controller import ChannelController
+from repro.sim.engine import EventLoop
+
+
+def _setup(policy):
+    engine = EventLoop()
+    ch = Channel(index=0, fast_timing=exploit_freq_lat_margins())
+    ch.modules = [Module(ModuleSpec(), "M0"),
+                  Module(ModuleSpec(), "M1")]
+    mapping = AddressMapping(channels=1, ranks_per_channel=4)
+    ctrl = ChannelController(engine, ch, mapping, policy,
+                             enable_refresh=False)
+    return engine, ch, ctrl
+
+
+def test_reads_interleave_with_write_batch():
+    """A read submitted during a long write drain completes before the
+    whole batch would have finished if reads were blocked."""
+    engine, ch, ctrl = _setup(BaselinePolicy())
+    for i in range(2000):
+        ctrl.submit_write(i * 64, 0.0)
+    ctrl.drain()
+    done = []
+    ctrl.submit_read(64 * 3000, 0.0, done.append)
+    engine.run()
+    batch_end = engine.now
+    assert done
+    assert done[0] < batch_end   # the read did not wait for the batch
+
+
+def test_write_mode_time_accounted():
+    engine, ch, ctrl = _setup(BaselinePolicy())
+    for i in range(2000):
+        ctrl.submit_write(i * 64, 0.0)
+    ctrl.drain()
+    engine.run()
+    assert ctrl.stats.write_mode_time_ns > 0
+
+
+def test_hdmr_batch_runs_at_spec():
+    """During a Hetero-DMR write batch the channel is SAFE; afterwards
+    it returns FAST."""
+    engine, ch, ctrl = _setup(HeteroDMRPolicy())
+    ch.modules[1].holds_copies = True
+    ch.to_fast(0.0)
+    states = []
+    orig = ctrl._write_chunks
+
+    def spy(batch, start):
+        states.append(ch.frequency.state)
+        orig(batch, start)
+
+    ctrl._write_chunks = spy
+    for i in range(256):
+        ctrl.submit_write(i * 64, 0.0, from_cleaning=True)
+    ctrl.drain()
+    engine.run()
+    assert states                 # chunks ran
+    assert all(s is FrequencyState.SAFE for s in states)
+    assert ch.frequency.state is FrequencyState.FAST
+
+
+def test_cleaning_writes_join_batch():
+    cleaned = [64 * 9000 + i * 64 for i in range(50)]
+    policy = HeteroDMRPolicy(llc_clean_hook=lambda n: cleaned)
+    engine, ch, ctrl = _setup(policy)
+    ch.modules[1].holds_copies = True
+    ch.to_fast(0.0)
+    for i in range(96):
+        ctrl.submit_write(i * 64, 0.0, from_cleaning=True)
+    ctrl.drain()
+    engine.run()
+    assert ctrl.stats.cleaning_writes == 50
+    assert ctrl.stats.writes_issued == 96 + 50
