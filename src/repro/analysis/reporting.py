@@ -54,6 +54,32 @@ def format_bar_chart(points: Dict[str, float], width: int = 40,
     return "\n".join(lines)
 
 
+def format_kv(title: str, pairs: Sequence[Sequence[object]]) -> str:
+    """Render a titled key/value block with aligned keys — the building
+    block of the survivability report."""
+    lines: List[str] = [title, "-" * len(title)]
+    if pairs:
+        key_w = max(len(str(k)) for k, _ in pairs)
+        for key, value in pairs:
+            lines.append("{} : {}".format(str(key).ljust(key_w),
+                                          _cell(value)))
+    return "\n".join(lines)
+
+
+def format_event_log(title: str,
+                     events: Sequence[Sequence[object]]) -> str:
+    """Render a timestamped event log (time, kind, detail rows)."""
+    lines: List[str] = [title, "-" * len(title)]
+    if not events:
+        lines.append("(no events)")
+        return "\n".join(lines)
+    rows = [[_cell(v) for v in e] for e in events]
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
 def _cell(value: object) -> str:
     if isinstance(value, float):
         return "{:.3f}".format(value)

@@ -7,6 +7,7 @@
     python -m repro settings                # Table II settings
     python -m repro node --suite hpcg       # one node, four designs
     python -m repro hpc --nodes 256         # Figure 17-style system run
+    python -m repro chaos --smoke           # fault-injection campaign
     python -m repro suites                  # workload catalogue
 
 Each subcommand prints the same plain-text tables the benchmark
@@ -115,6 +116,25 @@ def _cmd_hpc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import dataclasses
+    from .resilience import ChaosConfig, run_chaos_campaign
+    base = ChaosConfig.smoke() if args.smoke else ChaosConfig()
+    config = dataclasses.replace(base, seed=args.seed)
+    report = run_chaos_campaign(config)
+    text = report.render()
+    if args.report_file:
+        try:
+            with open(args.report_file, "w") as fh:
+                fh.write(text)
+        except OSError as exc:
+            print("repro chaos: cannot write report: {}".format(exc),
+                  file=sys.stderr)
+            return 2   # distinct from exit 1 == campaign FAIL
+    print(text, end="")
+    return 0 if report.passed() else 1
+
+
 def _cmd_suites(args: argparse.Namespace) -> int:
     from .workloads import PROFILES
     rows = [[p.name, p.footprint_bytes >> 20, p.stream_fraction,
@@ -155,6 +175,14 @@ def build_parser() -> argparse.ArgumentParser:
     hpc.add_argument("--nodes", type=int, default=256)
     hpc.add_argument("--jobs", type=int, default=3000)
 
+    chaos = sub.add_parser(
+        "chaos", help="run the fault-injection chaos campaign and print "
+                      "the survivability report (exit 1 on FAIL)")
+    chaos.add_argument("--smoke", action="store_true",
+                       help="short CI-sized campaign (~1 simulated hour)")
+    chaos.add_argument("--report-file", default=None,
+                       help="also write the report to this path")
+
     sub.add_parser("suites", help="list the workload suites")
     return parser
 
@@ -165,6 +193,7 @@ _HANDLERS = {
     "settings": _cmd_settings,
     "node": _cmd_node,
     "hpc": _cmd_hpc,
+    "chaos": _cmd_chaos,
     "suites": _cmd_suites,
 }
 

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Optional
 
 from ..dram.timing import (DDR4_MAX_SPEC_MTS, TimingParameters,
                            manufacturer_spec_3200)
@@ -44,6 +45,19 @@ class HeteroDMRConfig:
             raise ValueError("replication limit must be in (0, 1]")
         if not 0.0 <= self.read_error_rate <= 1.0:
             raise ValueError("read_error_rate must be a probability")
+
+    def derated(self, margin_mts: Optional[int] = None,
+                use_latency_margin: Optional[bool] = None
+                ) -> "HeteroDMRConfig":
+        """A copy of this config at a different degradation-ladder rung
+        (margin and/or latency-margin changed, everything else — epoch
+        budget, batch sizing — preserved)."""
+        return replace(
+            self,
+            margin_mts=self.margin_mts if margin_mts is None
+            else margin_mts,
+            use_latency_margin=self.use_latency_margin
+            if use_latency_margin is None else use_latency_margin)
 
     @property
     def fast_data_rate_mts(self) -> int:

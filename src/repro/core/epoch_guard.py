@@ -31,7 +31,9 @@ class EpochGuard:
     errors_this_epoch: int = 0
     total_errors: int = 0
     tripped_epochs: int = 0
+    epochs_rolled: int = 0
     _epoch_start_ns: float = 0.0
+    _max_now_ns: float = 0.0
     _tripped: bool = False
 
     @property
@@ -39,10 +41,20 @@ class EpochGuard:
         return self.epoch_hours * NS_PER_HOUR
 
     def _roll_epoch(self, now_ns: float) -> None:
-        epochs_elapsed = int((now_ns - self._epoch_start_ns) / self.epoch_ns)
+        # Time observed by the guard is monotone.  Events can arrive
+        # with out-of-order timestamps (event-loop reordering, skew
+        # between channels), so clamp to the high-water mark: a
+        # timestamp before the epoch start would otherwise compute a
+        # negative epoch count and silently never roll — nor may it
+        # resurrect a previous epoch's error budget.
+        if now_ns > self._max_now_ns:
+            self._max_now_ns = now_ns
+        epochs_elapsed = int(
+            (self._max_now_ns - self._epoch_start_ns) / self.epoch_ns)
         if epochs_elapsed > 0:
             self._epoch_start_ns += epochs_elapsed * self.epoch_ns
             self.errors_this_epoch = 0
+            self.epochs_rolled += epochs_elapsed
             self._tripped = False
 
     def record_error(self, now_ns: float, count: int = 1) -> None:

@@ -127,7 +127,12 @@ class HeteroDMRPolicy(AccessPolicy):
         return channel.to_safe(now_ns)
 
     def exit_write_mode(self, channel: Channel, now_ns: float) -> float:
-        """Figure 10 walk: self-refresh the originals, speed back up."""
+        """Figure 10 walk: self-refresh the originals, speed back up —
+        unless the epoch's error budget is exhausted, in which case the
+        channel stays at specification until the next epoch re-arms
+        (Section III-B)."""
+        if not self.epoch_guard.margin_allowed(now_ns):
+            return now_ns
         return channel.to_fast(now_ns)
 
     def write_batch_extra(self, now_ns: float) -> List[int]:
@@ -146,6 +151,8 @@ class HeteroDMRPolicy(AccessPolicy):
         read the original, overwrite the copy, speed back up."""
         if self.config.read_error_rate <= 0.0:
             return now_ns
+        if channel.frequency.state is not FrequencyState.FAST:
+            return now_ns   # copies read at spec cannot margin-error
         if self._rng.random() >= self.config.read_error_rate:
             return now_ns
         self.epoch_guard.record_error(now_ns)
@@ -154,7 +161,8 @@ class HeteroDMRPolicy(AccessPolicy):
         safe = channel.safe_timing
         t += safe.tRCD_ns + safe.tCAS_ns + safe.burst_time_ns   # read
         t += safe.burst_time_ns                                 # rewrite
-        t = channel.to_fast(t)
+        if self.epoch_guard.margin_allowed(t):
+            t = channel.to_fast(t)
         self.corrections += 1
         self.correction_time_ns += t - now_ns
         return t

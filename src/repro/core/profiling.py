@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..characterization.modules import SyntheticModule
-from ..characterization.testbench import TestMachine
+from ..characterization.testbench import BootFailure, TestMachine
 from .margin_selection import (bucket_node_margin, channel_margin,
                                node_margin, snap_to_step)
 
@@ -37,6 +37,18 @@ class NodeProfile:
         return bucket_node_margin(self.node_margin_mts)
 
 
+@dataclass
+class ProfileOutcome:
+    """Result of a bounded-retry profiling attempt sequence."""
+    profile: Optional[NodeProfile]     # None when every attempt failed
+    attempts: int
+    elapsed_s: float                   # includes backoff waits
+
+    @property
+    def succeeded(self) -> bool:
+        return self.profile is not None
+
+
 class NodeMarginProfiler:
     """Boot-time / idle-time margin profiling for one node."""
 
@@ -50,6 +62,7 @@ class NodeMarginProfiler:
         self.reprofile_interval_s = reprofile_interval_s
         self.last_profile: Optional[NodeProfile] = None
         self.profiles_run = 0
+        self.failed_attempts = 0
 
     def profile(self, channels: Sequence[Sequence[SyntheticModule]],
                 now_s: Optional[float] = None) -> NodeProfile:
@@ -75,6 +88,37 @@ class NodeMarginProfiler:
         self.last_profile = profile
         self.profiles_run += 1
         return profile
+
+    def profile_with_retry(self, channels: Sequence[Sequence[SyntheticModule]],
+                           now_s: float, max_retries: int = 3,
+                           backoff_s: float = 60.0) -> ProfileOutcome:
+        """Profile with bounded retry and exponential backoff.
+
+        Re-profiling happens while a node is live; a module that fails
+        to boot at a candidate rate (thermal excursion in progress,
+        marginal hardware) aborts the pass.  Each failed attempt waits
+        ``backoff_s`` (doubling every retry) before trying again; after
+        ``max_retries`` retries the sequence gives up and the caller
+        must keep operating at specification — correctness never
+        depended on the profile (Section III-E)."""
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if backoff_s <= 0:
+            raise ValueError("backoff_s must be positive")
+        t = now_s
+        delay = backoff_s
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                profile = self.profile(channels, now_s=t)
+                return ProfileOutcome(profile, attempts, t - now_s)
+            except BootFailure:
+                self.failed_attempts += 1
+                if attempts > max_retries:
+                    return ProfileOutcome(None, attempts, t - now_s)
+                t += delay
+                delay *= 2.0
 
     def needs_reprofile(self, now_s: float) -> bool:
         """Has the periodic idle re-profiling interval elapsed?"""

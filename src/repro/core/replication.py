@@ -229,9 +229,19 @@ class HeteroDMRManager:
         return result.data
 
     def _original_module(self, address: int):
-        for i, module in enumerate(self.channel.modules):
-            if i != self.free_module_index:
+        """The module holding (or designated to hold) the original of
+        ``address``.  After a permanent-fault role swap the originals
+        may live in any slot, so prefer the non-copy module that
+        actually stores the block; new blocks go to the first
+        original-holding slot."""
+        candidates = [m for i, m in enumerate(self.channel.modules)
+                      if i != self.free_module_index
+                      and not m.holds_copies]
+        for module in candidates:
+            if address in module.storage:
                 return module
+        if candidates:
+            return candidates[0]
         raise ReplicationError("channel has no original-holding module")
 
     # -- permanent-fault handling (Section III-E) -----------------------------------------

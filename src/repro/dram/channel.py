@@ -150,6 +150,18 @@ class Channel:
 
     # -- frequency control ----------------------------------------------------------
 
+    def retune_fast(self, fast_timing: Optional[TimingParameters]) -> None:
+        """Swap the fast (read-mode) timing setting — the degradation
+        ladder's demote/promote knob.  Only legal while the channel
+        runs at specification: reprogramming MRS under a live
+        out-of-spec clock could corrupt in-flight transfers."""
+        if self.frequency.state is not FrequencyState.SAFE:
+            raise SafetyViolation(
+                "fast timing may only change while channel {} is SAFE "
+                "(clock is {})".format(self.index,
+                                       self.frequency.state.value))
+        self.fast_timing = fast_timing
+
     def to_safe(self, now_ns: float) -> float:
         """Slow the channel to specification (Figure 9); wakes
         original-holding modules from self-refresh afterwards."""

@@ -18,8 +18,9 @@ split it across the three transition steps.
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 #: Total latency of one frequency transition (Section III-A1).
 TRANSITION_NS = 1000.0
@@ -49,6 +50,7 @@ class TransitionRecord:
     from_state: FrequencyState
     to_state: FrequencyState
     steps: Tuple[Tuple[FrequencyState, float], ...]
+    retried: bool = False
 
 
 @dataclass
@@ -59,9 +61,38 @@ class FrequencyMachine:
     history: List[TransitionRecord] = field(default_factory=list)
     transitions_to_fast: int = 0
     transitions_to_safe: int = 0
+    #: Probability that any transition fails mid-walk and is retried
+    #: from scratch (chaos-campaign knob); ``seed_faults`` arms the RNG.
+    fault_rate: float = 0.0
+    failed_transitions: int = 0
+    _fault_armed: bool = False
+    _fault_rng: Optional[random.Random] = None
 
     def is_stable(self) -> bool:
         return self.state in (FrequencyState.SAFE, FrequencyState.FAST)
+
+    # -- fault injection -------------------------------------------------------
+
+    def seed_faults(self, seed: int, fault_rate: float) -> None:
+        """Enable probabilistic transition failures (deterministic)."""
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError("fault_rate must be a probability")
+        self.fault_rate = fault_rate
+        self._fault_rng = random.Random(seed)
+
+    def inject_transition_fault(self) -> None:
+        """Arm a one-shot transition failure: the next walk aborts in
+        SYNC (DLL fails to relock / ZQ calibration times out) and is
+        retried from scratch, doubling that transition's latency."""
+        self._fault_armed = True
+
+    def _draw_fault(self) -> bool:
+        if self._fault_armed:
+            self._fault_armed = False
+            return True
+        if self.fault_rate > 0.0 and self._fault_rng is not None:
+            return self._fault_rng.random() < self.fault_rate
+        return False
 
     def slow_down(self, now_ns: float) -> float:
         """FAST -> SAFE walk (Figure 9); returns completion time.
@@ -89,6 +120,12 @@ class FrequencyMachine:
                     self.state.value, expect.value))
         t = now_ns
         steps = []
+        retried = self._draw_fault()
+        if retried:
+            # The failed walk reached SYNC before aborting; the retry
+            # re-runs the whole walk, so the transition costs double.
+            self.failed_transitions += 1
+            t += self.transition_ns
         for frac, state in zip(
                 _STEP_FRACTIONS,
                 (FrequencyState.PREPARE, FrequencyState.CHANGE,
@@ -99,7 +136,7 @@ class FrequencyMachine:
         self.state = target
         self.history.append(TransitionRecord(
             start_ns=now_ns, end_ns=t, from_state=expect, to_state=target,
-            steps=tuple(steps)))
+            steps=tuple(steps), retried=retried))
         return t
 
     @property

@@ -1,7 +1,7 @@
 """Bamboo Reed-Solomon ECC substrate (Section III-B of the paper)."""
 
 from .bamboo import (ADDRESS_BYTES, BLOCK_DATA_BYTES, BLOCK_ECC_BYTES,
-                     BambooCodec, CodedBlock)
+                     FORMAT_TAG, BambooCodec, CodedBlock)
 from .policy import (DecodeStatus, DetectAndCorrectPolicy, DetectOnlyPolicy,
                      PolicyResult, sdc_epoch_threshold,
                      sdc_overhead_vs_server_target)

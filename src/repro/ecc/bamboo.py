@@ -16,6 +16,15 @@ over the combined message.  The virtual symbols are never stored, so
 the on-DIMM layout stays 64 + 8 bytes, and an address-bus error makes
 the reader check data fetched from location B against the parity of
 location A, which the code flags as corruption.
+
+The virtual prefix additionally carries a constant non-zero *format
+tag*.  Without it, address 0 is degenerate: its six address bytes are
+all zero, so the all-zero 72-byte stored block is a valid codeword
+there and a stuck-at-zero device fault would slip through detect-only
+decoding silently.  With the tag the virtual prefix is never all-zero,
+and since a non-zero RS(<=79,71) codeword has weight >= 9 while an
+all-zero stored block limits the codeword weight to the 7 prefix
+symbols, the zeroed block is detected at every address.
 """
 
 from __future__ import annotations
@@ -33,6 +42,11 @@ BLOCK_ECC_BYTES = 8
 
 #: Bytes of the block address folded into the codeword.
 ADDRESS_BYTES = 6
+
+#: Constant non-zero virtual symbol leading the folded prefix, so the
+#: prefix never vanishes (see the module docstring: without it the
+#: all-zero stored block is a valid codeword at address 0).
+FORMAT_TAG = 0x1D
 
 
 @dataclass(frozen=True)
@@ -64,8 +78,8 @@ class BambooCodec:
 
     def __init__(self, include_address: bool = True):
         self.include_address = include_address
-        message_len = BLOCK_DATA_BYTES + (
-            ADDRESS_BYTES if include_address else 0)
+        self._prefix_len = (ADDRESS_BYTES + 1) if include_address else 0
+        message_len = BLOCK_DATA_BYTES + self._prefix_len
         self._rs = ReedSolomon(message_len, BLOCK_ECC_BYTES)
 
     # -- encode -------------------------------------------------------------
@@ -105,7 +119,7 @@ class BambooCodec:
         """
         codeword = self._codeword(block, address)
         result = self._rs.decode(codeword)
-        prefix = ADDRESS_BYTES if self.include_address else 0
+        prefix = self._prefix_len
         if any(p < prefix for p in result.error_positions):
             raise DecodeFailure(
                 "correction landed in virtual address symbols")
@@ -130,7 +144,7 @@ class BambooCodec:
 
     def _message(self, data: Sequence[int], address: int) -> List[int]:
         if self.include_address:
-            return self.address_bytes(address) + list(data)
+            return [FORMAT_TAG] + self.address_bytes(address) + list(data)
         return list(data)
 
     def _codeword(self, block: CodedBlock, address: int) -> List[int]:

@@ -1,6 +1,6 @@
 """Error models, rates, and fault injection for out-of-spec operation."""
 
-from .injector import ErrorInjector, InjectionStats
+from .injector import ErrorInjector, InjectionStats, poisson_draw
 from .models import (ERROR_PATTERNS, STORED_BYTES, chip_failure,
                      full_block_error, multi_byte_burst, row_corruption,
                      single_bit_flip, stuck_at_zero)
@@ -16,6 +16,7 @@ __all__ = [
     "ErrorRecord", "ErrorScenario", "MarginAdvice", "MarginAdvisor", "ModuleErrorLog", "FULL_POPULATION_MULTIPLIER", "InjectionStats",
     "STORED_BYTES", "chip_failure", "errors_per_hour",
     "full_block_error", "multi_byte_burst",
-    "per_access_error_probability", "population_error_summary",
+    "per_access_error_probability", "poisson_draw",
+    "population_error_summary",
     "row_corruption", "single_bit_flip", "stuck_at_zero",
 ]

@@ -2,19 +2,43 @@
 
 Bridges :mod:`repro.errors.models` (what corruption looks like) and
 :mod:`repro.errors.rates` (how often it strikes) into the functional
-Hetero-DMR datapath, for both targeted injection (tests pick an
-address and a pattern) and rate-driven campaigns (a Bernoulli draw per
-access).
+Hetero-DMR datapath, for targeted injection (tests pick an address and
+a pattern) and for campaigns — either a flat per-access Bernoulli draw
+or the time-aware rate-driven mode, which draws the number of faults
+in a window from the same errors/hour model the Figure 6 populations
+use (:func:`repro.errors.rates.errors_per_hour`), so chaos runs and
+characterization share one rate model.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..core.replication import HeteroDMRManager
 from .models import ERROR_PATTERNS
+
+NS_PER_HOUR = 3_600_000_000_000.0
+
+
+def poisson_draw(rng: random.Random, lam: float) -> int:
+    """Sample Poisson(lam) deterministically from ``rng`` (Knuth's
+    product method for small rates, a clamped normal approximation for
+    large ones — exactness does not matter past ~50 events/window)."""
+    if lam < 0:
+        raise ValueError("rate must be non-negative")
+    if lam == 0.0:
+        return 0
+    if lam > 50.0:
+        return max(0, int(round(rng.gauss(lam, math.sqrt(lam)))))
+    limit = math.exp(-lam)
+    count, product = 0, rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count
 
 
 @dataclass
@@ -53,14 +77,45 @@ class ErrorInjector:
         return name
 
     def campaign(self, addresses: Sequence[int],
-                 probability: float) -> List[int]:
-        """Bernoulli-corrupt each address's copy with ``probability``;
-        returns the corrupted addresses."""
-        if not 0.0 <= probability <= 1.0:
-            raise ValueError("probability must be in [0, 1]")
-        hit = []
-        for addr in addresses:
-            if self._rng.random() < probability:
-                self.corrupt_copy(addr)
-                hit.append(addr)
+                 probability: Optional[float] = None, *,
+                 rate_per_hour: Optional[float] = None,
+                 duration_ns: Optional[float] = None) -> List[int]:
+        """Corrupt copies across ``addresses``; returns the hit list.
+
+        Two modes:
+
+        * flat Bernoulli (``probability``): each address's copy is
+          corrupted independently — the original per-access model;
+        * time-aware rate-driven (``rate_per_hour`` + ``duration_ns``):
+          the number of faults in the window is Poisson with mean
+          ``rate * duration``, each landing on a uniformly drawn
+          address — the errors/hour model of :mod:`repro.errors.rates`,
+          so chaos campaigns and the Figure 6 populations share one
+          rate model.
+        """
+        if (probability is None) == (rate_per_hour is None):
+            raise ValueError("pass exactly one of probability or "
+                             "rate_per_hour")
+        addresses = list(addresses)
+        hit: List[int] = []
+        if probability is not None:
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError("probability must be in [0, 1]")
+            for addr in addresses:
+                if self._rng.random() < probability:
+                    self.corrupt_copy(addr)
+                    hit.append(addr)
+            return hit
+        if duration_ns is None or duration_ns < 0:
+            raise ValueError("rate-driven mode needs duration_ns >= 0")
+        if rate_per_hour < 0:
+            raise ValueError("rate must be non-negative")
+        if not addresses:
+            return hit
+        count = poisson_draw(self._rng,
+                             rate_per_hour * duration_ns / NS_PER_HOUR)
+        for _ in range(count):
+            addr = addresses[self._rng.randrange(len(addresses))]
+            self.corrupt_copy(addr)
+            hit.append(addr)
         return hit

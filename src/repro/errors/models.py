@@ -61,8 +61,10 @@ def full_block_error(raw: Sequence[int], rng: random.Random) -> List[int]:
 def stuck_at_zero(raw: Sequence[int], rng: random.Random) -> List[int]:
     """The block reads back all-zero (e.g., a misinterpreted command
     reset the device).  Note an all-zero *message* is still a valid
-    codeword of a linear code, but the address folded into the ECC
-    makes a zeroed stored block detectable."""
+    codeword of a linear code, but the constant-plus-address prefix
+    folded into the ECC makes a zeroed stored block detectable at
+    every address — including address 0, whose address bytes alone
+    would vanish (``repro.ecc.bamboo.FORMAT_TAG``)."""
     return [0] * STORED_BYTES
 
 

@@ -94,15 +94,18 @@ class MarginAdvisor:
     frequency trade-off.
     """
 
-    def __init__(self, demote_ce_rate: float = 1000.0):
+    def __init__(self, demote_ce_rate: float = 1000.0,
+                 window_ns: float = NS_PER_HOUR):
         if demote_ce_rate <= 0:
             raise ValueError("demote_ce_rate must be positive")
         self.demote_ce_rate = demote_ce_rate
+        self.window_ns = window_ns
         self.logs: Dict[str, ModuleErrorLog] = {}
 
     def log_for(self, module_id: str) -> ModuleErrorLog:
         if module_id not in self.logs:
-            self.logs[module_id] = ModuleErrorLog(module_id)
+            self.logs[module_id] = ModuleErrorLog(module_id,
+                                                  window_ns=self.window_ns)
         return self.logs[module_id]
 
     def record(self, time_ns: float, module_id: str, address: int,

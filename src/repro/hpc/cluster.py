@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.margin_selection import NODE_MARGIN_BUCKETS, bucket_node_margin
 
@@ -19,10 +19,23 @@ DEFAULT_GROUP_FRACTIONS = {800: 0.62, 600: 0.36, 0: 0.02}
 
 @dataclass
 class ClusterNode:
-    """One compute node."""
+    """One compute node.
+
+    ``margin_mts`` is the profiled margin; ``demoted_margin_mts`` is an
+    operational override set while the node's degradation ladder has
+    demoted it (None when the node runs at its profiled margin).
+    Placement and performance always consult the effective margin.
+    """
     index: int
     margin_mts: int
     free_at_s: float = 0.0
+    demoted_margin_mts: Optional[int] = None
+
+    @property
+    def effective_margin_mts(self) -> int:
+        if self.demoted_margin_mts is None:
+            return self.margin_mts
+        return min(self.margin_mts, self.demoted_margin_mts)
 
 
 class Cluster:
@@ -50,12 +63,22 @@ class Cluster:
         return len(self.nodes)
 
     def groups(self) -> Dict[int, List[ClusterNode]]:
-        """Nodes grouped by margin bucket, fastest first."""
+        """Nodes grouped by *effective* margin bucket, fastest first."""
         out: Dict[int, List[ClusterNode]] = {}
         for node in self.nodes:
-            out.setdefault(bucket_node_margin(node.margin_mts),
+            out.setdefault(bucket_node_margin(node.effective_margin_mts),
                            []).append(node)
         return dict(sorted(out.items(), reverse=True))
 
     def group_counts(self) -> Dict[int, int]:
         return {k: len(v) for k, v in self.groups().items()}
+
+    def demote_node(self, index: int, margin_mts: int) -> None:
+        """Cap a node's operational margin (degradation ladder)."""
+        if margin_mts < 0:
+            raise ValueError("margin_mts must be non-negative")
+        self.nodes[index].demoted_margin_mts = margin_mts
+
+    def restore_node(self, index: int) -> None:
+        """Lift a node's demotion, restoring its profiled margin."""
+        self.nodes[index].demoted_margin_mts = None

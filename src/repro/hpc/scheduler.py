@@ -32,7 +32,13 @@ class AllocationPolicy:
 
 
 class MarginAwareAllocationPolicy(AllocationPolicy):
-    """Group nodes by margin; prefer one uniform fast group."""
+    """Group nodes by margin; prefer one uniform fast group.
+
+    Placement consults each node's *effective* margin, so a node whose
+    degradation ladder has demoted it mid-campaign drops into a slower
+    group (or out of margin placement entirely at spec) without the
+    scheduler needing to know why.
+    """
 
     name = "margin-aware"
 
@@ -42,14 +48,15 @@ class MarginAwareAllocationPolicy(AllocationPolicy):
             return None
         groups: Dict[int, List[ClusterNode]] = {}
         for node in free_nodes:
-            groups.setdefault(bucket_node_margin(node.margin_mts),
-                              []).append(node)
+            groups.setdefault(
+                bucket_node_margin(node.effective_margin_mts),
+                []).append(node)
         # Fastest group that alone satisfies the request.
         for margin in sorted(groups, reverse=True):
             if len(groups[margin]) >= count:
                 return groups[margin][:count]
         # Fall back: the fastest ``count`` free nodes overall.
-        ranked = sorted(free_nodes, key=lambda n: -n.margin_mts)
+        ranked = sorted(free_nodes, key=lambda n: -n.effective_margin_mts)
         return ranked[:count]
 
 

@@ -128,7 +128,7 @@ class SystemSimulator:
                 free = [n for n in free if id(n) not in node_set]
                 started.allocated_nodes = nodes
                 started.start_s = now
-                min_margin = min(n.margin_mts for n in nodes)
+                min_margin = min(n.effective_margin_mts for n in nodes)
                 factor = self.performance.speedup(
                     min_margin, started.memory_utilization)
                 started.runtime_s = started.base_runtime_s / factor

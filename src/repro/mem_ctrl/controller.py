@@ -40,6 +40,7 @@ if TYPE_CHECKING:   # pragma: no cover - typing only
 class ControllerStats:
     """Aggregate controller statistics for one channel."""
     reads_issued: int = 0
+    read_retries: int = 0            # back-pressure resubmissions
     writes_issued: int = 0
     write_bursts: int = 0            # bus transactions incl. broadcast
     cleaning_writes: int = 0
@@ -112,6 +113,7 @@ class ChannelController:
         if len(self.read_queue) >= READ_QUEUE_ENTRIES:
             # Back-pressure on demand reads: retry (rare: bounded MLP
             # keeps demand occupancy below the queue size).
+            self.stats.read_retries += 1
             self.engine.schedule_in(
                 200.0, lambda: self.submit_read(address, self.engine.now,
                                                 callback, core_id,

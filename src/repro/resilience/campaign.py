@@ -1,0 +1,491 @@
+"""End-to-end chaos campaign for a Hetero-DMR system.
+
+Drives a long simulated run that injects every fault class the design
+claims to survive — transient copy corruption with every pattern in
+``errors.models.ERROR_PATTERNS``, a repeat-address permanent fault,
+frequency-transition failures, a thermal excursion scaling error rates
+through ``characterization.temperature``, and an epoch-threshold flood
+where *100% of reads hit a corrupted copy* — against a live functional
+datapath (``core.replication``), while a
+:class:`~repro.resilience.degradation.DegradationController` walks the
+settings ladder and a margin-aware cluster scheduler pulls the node's
+demotions into placement.
+
+Every read is checked against a shadow model of the written data, so
+the campaign machine-checks DESIGN.md §6 invariants 3, 4, 6, and 7
+continuously; the outcome is a deterministic
+:class:`~repro.resilience.report.SurvivabilityReport` (same seed ->
+byte-identical render, asserted by CI).
+
+Timeline (fractions of the configured duration):
+
+====================  ==========================================
+[0.00, 0.30) normal   rate-driven corruption at 23 C ambient;
+                      a permanent fault strikes in [0.10, 0.25)
+[0.30, 0.50) thermal  45 C ambient; rates scale 4x (2x when the
+                      rung keeps latency margins)
+[0.50, 0.60) flood    every copy corrupted every step — the
+                      epoch guard must trip
+[0.60, 1.00) recovery fault-free; the ladder re-promotes one
+                      rung per clean window, re-profiling (with
+                      flaky boots) before leaving specification
+====================  ==========================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cache.hierarchy import HierarchyConfig
+from ..characterization.modules import SyntheticModule
+from ..characterization.temperature import (CHAMBER_AMBIENT_C,
+                                            ROOM_AMBIENT_C,
+                                            error_rate_multiplier)
+from ..characterization.testbench import BootFailure, TestMachine
+from ..core.config import HeteroDMRConfig
+from ..core.profiling import NodeMarginProfiler
+from ..core.replication import HeteroDMRManager, UncorrectableError
+from ..dram.channel import Channel, SafetyViolation
+from ..dram.frequency import FrequencyState
+from ..dram.module import Module, ModuleSpec
+from ..errors.injector import ErrorInjector
+from ..errors.telemetry import MarginAdvisor, NS_PER_HOUR
+from ..hpc.cluster import Cluster
+from ..hpc.job import Job
+from ..hpc.scheduler import (EasyBackfillScheduler,
+                             MarginAwareAllocationPolicy)
+from ..hpc.simulator import PerformanceModel, SystemSimulator
+from ..sim.runner import ExperimentRunner
+from .degradation import DegradationController, LadderRung, build_ladder
+from .report import SurvivabilityReport
+
+BLOCK_BYTES = 64
+
+
+class FlakyTestMachine(TestMachine):
+    """A characterization rig mid-thermal-excursion: the first
+    ``fail_calls`` margin measurements raise :class:`BootFailure`,
+    exercising the profiler's bounded retry/backoff path."""
+
+    def __init__(self, fail_calls: int = 2, **kwargs):
+        super().__init__(**kwargs)
+        self.fail_calls = fail_calls
+        self._calls = 0
+
+    def measure_margin(self, module, *args, **kwargs):
+        self._calls += 1
+        if self._calls <= self.fail_calls:
+            raise BootFailure("module {} did not boot at margin"
+                              .format(module.module_id))
+        return super().measure_margin(module, *args, **kwargs)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs of one chaos campaign.  Defaults are the full campaign;
+    :meth:`smoke` shrinks it to a CI-sized run with the same phase
+    structure (all fault classes, epoch trips, remap, re-promotion)."""
+    seed: int = 2026
+    duration_hours: float = 2.0
+    steps: int = 400
+    address_count: int = 48
+    reads_per_step: int = 12
+    base_margin_mts: int = 800
+    # Error budget / telemetry.
+    epoch_hours: float = 0.1
+    epoch_error_threshold: int = 300
+    demote_ce_rate: float = 700.0
+    advisor_window_hours: float = 0.05
+    # Ladder pacing.
+    clean_window_hours: float = 0.06
+    demote_dwell_hours: float = 0.25
+    # Fault-class intensities.
+    base_error_rate_per_hour: float = 400.0
+    transition_fault_rate: float = 0.01
+    thermal_ambient_c: float = CHAMBER_AMBIENT_C
+    # Phase boundaries (fractions of the duration).
+    thermal_span: Tuple[float, float] = (0.30, 0.50)
+    flood_span: Tuple[float, float] = (0.50, 0.60)
+    permanent_span: Tuple[float, float] = (0.10, 0.25)
+    swing_fractions: Tuple[float, ...] = (0.05, 0.62)
+    armed_fault_fractions: Tuple[float, ...] = (0.07, 0.35)
+    # Workload shape.
+    write_every_steps: int = 5
+    writes_per_batch: int = 4
+    low_utilization: float = 0.15
+    high_utilization: float = 0.80
+    # Re-profiling.
+    reprofile_fail_calls: int = 2
+    # Node (cycle-level) phase.
+    node_suite: str = "hpcg"
+    node_refs_per_core: int = 1500
+    node_read_error_rate: float = 0.02
+    node_transition_fault_rate: float = 0.05
+    # Cluster phase.
+    cluster_nodes: int = 25
+    cluster_jobs: int = 10
+
+    @property
+    def duration_ns(self) -> float:
+        return self.duration_hours * NS_PER_HOUR
+
+    @classmethod
+    def smoke(cls, seed: int = 2026) -> "ChaosConfig":
+        """A ~30-second configuration for CI: shorter and smaller, but
+        the flood still spans multiple (shortened) epochs so the
+        two-trip straight-to-spec path is exercised."""
+        return cls(seed=seed, duration_hours=1.0, steps=160,
+                   address_count=32, reads_per_step=8,
+                   epoch_hours=0.04, epoch_error_threshold=120,
+                   advisor_window_hours=0.04,
+                   clean_window_hours=0.03, demote_dwell_hours=0.15,
+                   node_refs_per_core=600, cluster_jobs=8)
+
+
+class ChaosCampaign:
+    """Runs one chaos campaign and produces a survivability report."""
+
+    def __init__(self, config: Optional[ChaosConfig] = None):
+        self.config = config or ChaosConfig()
+        self.report = SurvivabilityReport(
+            seed=self.config.seed,
+            duration_hours=self.config.duration_hours)
+        self._checks: Dict[str, int] = {
+            "inv3_checks": 0, "inv4_checks": 0, "inv5_checks": 0,
+            "inv6_checks": 0, "inv7_checks": 0}
+        self._shadow: Dict[int, Tuple[int, ...]] = {}
+        self._dirty: Set[int] = set()
+        self._perm_module_id: Optional[str] = None
+        self._cluster_ran = False
+        self._build()
+
+    # -- construction -----------------------------------------------------------------
+
+    def _build(self) -> None:
+        cfg = self.config
+        self._data_rng = random.Random(cfg.seed ^ 0x5AD0)
+        self.addresses = list(range(cfg.address_count))
+        self.channel = Channel(index=0)
+        self.channel.modules = [
+            Module(ModuleSpec(), "M0",
+                   true_margin_mts=cfg.base_margin_mts - 200),
+            Module(ModuleSpec(), "M1",
+                   true_margin_mts=cfg.base_margin_mts)]
+        self.channel.frequency.seed_faults(cfg.seed ^ 0xFA017,
+                                           cfg.transition_fault_rate)
+        self.advisor = MarginAdvisor(
+            demote_ce_rate=cfg.demote_ce_rate,
+            window_ns=cfg.advisor_window_hours * NS_PER_HOUR)
+        self.manager = HeteroDMRManager(
+            self.channel,
+            config=HeteroDMRConfig(
+                margin_mts=cfg.base_margin_mts,
+                epoch_hours=cfg.epoch_hours,
+                epoch_error_threshold=cfg.epoch_error_threshold),
+            telemetry=self.advisor)
+        self.injector = ErrorInjector(self.manager, seed=cfg.seed ^ 0x1271)
+        self.cluster = Cluster(cfg.cluster_nodes, seed=cfg.seed)
+        self.chaos_node = next(n.index for n in self.cluster.nodes
+                               if n.margin_mts == 800)
+        profiler = NodeMarginProfiler(
+            machine=FlakyTestMachine(fail_calls=cfg.reprofile_fail_calls,
+                                     seed=cfg.seed & 0xFFFF))
+        profile_channels = [[
+            SyntheticModule("P0", ModuleSpec(),
+                            true_margin_mts=820.0, boot_margin_mts=1050.0,
+                            voltage_uplift_mts=100.0,
+                            ce_rate_per_hour=40.0, ue_rate_per_hour=0.0),
+            SyntheticModule("P1", ModuleSpec(),
+                            true_margin_mts=870.0, boot_margin_mts=1050.0,
+                            voltage_uplift_mts=120.0,
+                            ce_rate_per_hour=25.0, ue_rate_per_hour=0.0),
+        ]]
+        self.controller = DegradationController(
+            self.manager, self.advisor,
+            ladder=build_ladder(cfg.base_margin_mts),
+            clean_window_ns=cfg.clean_window_hours * NS_PER_HOUR,
+            demote_dwell_ns=cfg.demote_dwell_hours * NS_PER_HOUR,
+            profiler=profiler, profile_channels=profile_channels,
+            on_rung_change=self._propagate_rung)
+
+    def _propagate_rung(self, rung: LadderRung) -> None:
+        """Feed the ladder's current rung into cluster placement."""
+        self.cluster.demote_node(self.chaos_node, rung.margin_mts)
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _fresh_data(self) -> List[int]:
+        return [self._data_rng.randrange(256) for _ in range(BLOCK_BYTES)]
+
+    def _in_span(self, frac: float, span: Tuple[float, float]) -> bool:
+        return span[0] <= frac < span[1]
+
+    def _checked_read(self, address: int) -> None:
+        """Invariant 4: data returned to the core always matches what
+        the core last wrote, whatever was injected into the copy."""
+        mgr = self.manager
+        via_copy = mgr.replication_active and not mgr.in_write_mode
+        try:
+            data = mgr.read(address)
+        except UncorrectableError:
+            self.report.uncorrectable_errors += 1
+            return
+        self._checks["inv4_checks"] += 1
+        if tuple(data) != self._shadow[address]:
+            self.report.silent_corruptions += 1
+        if via_copy:
+            self._dirty.discard(address)   # detection rewrote the copy
+
+    def _do_writes(self, step: int) -> None:
+        """Broadcast writes + invariant 6: original == copy after every
+        write that happens while replication is active."""
+        cfg = self.config
+        mgr = self.manager
+        mgr.enter_write_mode()
+        for i in range(cfg.writes_per_batch):
+            address = self.addresses[
+                (step * cfg.writes_per_batch + i) % len(self.addresses)]
+            data = self._fresh_data()
+            mgr.write(address, data)
+            self._shadow[address] = tuple(data)
+            self._dirty.discard(address)
+            if mgr.replication_active:
+                self._checks["inv6_checks"] += 1
+                free = self.channel.modules[mgr.free_module_index]
+                original = mgr._original_module(address)
+                if free.read_block(address).stored_bytes() != \
+                        original.read_block(address).stored_bytes():
+                    self.report.broadcast_divergences += 1
+
+    def _utilization_swing(self, now_ns: float) -> None:
+        """Invariant 7: deactivating and re-activating replication
+        never changes the data any address returns."""
+        mgr = self.manager
+        mgr.now_ns = max(mgr.now_ns, now_ns)
+        mgr.observe_utilization(self.config.high_utilization)
+        for address in self.addresses:
+            self._checks["inv7_checks"] += 1
+            try:
+                data = mgr.read(address)
+            except UncorrectableError:
+                self.report.uncorrectable_errors += 1
+                continue
+            if tuple(data) != self._shadow[address]:
+                self.report.replication_divergences += 1
+        mgr.observe_utilization(self.config.low_utilization)
+        free = self.channel.modules[mgr.free_module_index]
+        for address in self.addresses:
+            self._checks["inv7_checks"] += 1
+            copy = free.read_block(address)
+            original = mgr._original_module(address).read_block(address)
+            if copy is None or \
+                    copy.stored_bytes() != original.stored_bytes():
+                self.report.replication_divergences += 1
+        self._dirty.clear()   # re-replication scrubbed every copy
+
+    def _check_inv3(self) -> None:
+        """Invariant 3: whenever the clock is away from specification,
+        every original-holding module must be in self-refresh."""
+        if self.channel.frequency.state is FrequencyState.SAFE:
+            return
+        for module in self.channel.modules:
+            self._checks["inv3_checks"] += 1
+            if not (module.holds_copies or module.in_self_refresh):
+                self.report.safety_violations += 1
+
+    def _check_inv5(self, now_ns: float) -> None:
+        """Invariant 5: an exhausted epoch budget forces (and keeps)
+        the system at specification until the epoch re-arms."""
+        if self.manager.epoch_guard.margin_allowed(now_ns):
+            return
+        self._checks["inv5_checks"] += 1
+        if not self.manager.in_write_mode or \
+                self.channel.frequency.state is not FrequencyState.SAFE:
+            self.report.safety_violations += 1
+
+    def _inject(self, frac: float, now_ns: float, step_ns: float,
+                multiplier: float) -> None:
+        cfg = self.config
+        mgr = self.manager
+        if not mgr.replication_active:
+            return
+        if self._in_span(frac, cfg.flood_span):
+            hit = self.injector.campaign(self.addresses, probability=1.0)
+        elif frac < cfg.flood_span[0]:
+            rate = cfg.base_error_rate_per_hour * multiplier
+            hit = self.injector.campaign(
+                self.addresses, rate_per_hour=rate, duration_ns=step_ns)
+        else:
+            hit = []   # recovery: fault-free window
+        self._dirty.update(hit)
+        # Repeat-address permanent fault: the same address in the same
+        # module corrupts every step until the controller remaps it.
+        if self._in_span(frac, cfg.permanent_span):
+            free_id = self.channel.modules[mgr.free_module_index].module_id
+            if self._perm_module_id is None:
+                self._perm_module_id = free_id
+            if free_id == self._perm_module_id:
+                self.injector.corrupt_copy(self.addresses[0])
+                self._dirty.add(self.addresses[0])
+
+    # -- phases -----------------------------------------------------------------------
+
+    def _run_cluster_phase(self) -> None:
+        """Scheduling with the chaos node demoted to specification:
+        margin-aware placement must bucket it at zero margin and every
+        job's runtime must match the effective margins it landed on."""
+        cfg = self.config
+        self.report.groups_demoted = self.cluster.group_counts()
+        rng = random.Random(cfg.seed ^ 0xC1)
+        jobs = [Job(job_id=i, submit_s=60.0 * i,
+                    nodes_requested=2 + (i % 5),
+                    base_runtime_s=120.0 + 40.0 * (i % 7),
+                    memory_utilization=(0.1, 0.35, 0.6)[i % 3])
+                for i in range(cfg.cluster_jobs)]
+        performance = PerformanceModel()
+        simulator = SystemSimulator(
+            self.cluster,
+            scheduler=EasyBackfillScheduler(MarginAwareAllocationPolicy()),
+            performance=performance)
+        result = simulator.run(jobs)
+        self.report.jobs_completed = len(result.jobs)
+        consistent = True
+        for job in result.jobs:
+            min_margin = min(n.effective_margin_mts
+                             for n in job.allocated_nodes)
+            expected = job.base_runtime_s / performance.speedup(
+                min_margin, job.memory_utilization)
+            if abs(job.runtime_s - expected) > 1e-9:
+                consistent = False
+        demoted = self.cluster.nodes[self.chaos_node]
+        if demoted.effective_margin_mts != 0:
+            consistent = False
+        self.report.placement_consistent = consistent
+        self._cluster_ran = True
+
+    def _run_node_phase(self) -> None:
+        """Cycle-level spot check: the degraded operating point (lower
+        margin, read errors, transition faults) runs and is no faster
+        than the healthy one; retry/fault counters surface."""
+        cfg = self.config
+        hier = HierarchyConfig(
+            name="Chaos", cores=2,
+            l2_bytes_per_core=256 << 10, l2_assoc=16,
+            l2_latency_cycles=12,
+            l3_bytes_total=4 << 20, l3_assoc=16, l3_latency_cycles=68,
+            channels=1)
+        runner = ExperimentRunner(refs_per_core=cfg.node_refs_per_core,
+                                  seed=cfg.seed)
+        healthy = runner.run(cfg.node_suite, hier, design="hetero-dmr",
+                             margin_mts=cfg.base_margin_mts,
+                             memory_utilization=cfg.low_utilization)
+        degraded = runner.run(
+            cfg.node_suite, hier, design="hetero-dmr",
+            margin_mts=max(0, cfg.base_margin_mts - 200),
+            memory_utilization=cfg.low_utilization,
+            use_latency_margin=False,
+            read_error_rate=cfg.node_read_error_rate,
+            transition_fault_rate=cfg.node_transition_fault_rate)
+        self.report.node_slowdown = degraded.time_ns / healthy.time_ns
+        self.report.node_read_retries = degraded.read_retries
+        self.report.node_failed_transitions = degraded.failed_transitions
+        self.report.node_write_mode_entries = degraded.write_mode_entries
+
+    # -- the campaign -------------------------------------------------------------------
+
+    def run(self) -> SurvivabilityReport:
+        cfg = self.config
+        mgr = self.manager
+        report = self.report
+        report.groups_before = self.cluster.group_counts()
+        # Populate memory and activate replication.
+        for address in self.addresses:
+            data = self._fresh_data()
+            mgr.write(address, data)
+            self._shadow[address] = tuple(data)
+        mgr.observe_utilization(cfg.low_utilization)
+        self.controller.maybe_enter_read_mode(0.0)
+        step_ns = cfg.duration_ns / cfg.steps
+        swing_steps = {int(f * cfg.steps) for f in cfg.swing_fractions}
+        armed_steps = {int(f * cfg.steps)
+                       for f in cfg.armed_fault_fractions}
+        read_cursor = 0
+        for step in range(cfg.steps):
+            now_ns = (step + 1) * step_ns
+            frac = (step + 1) / cfg.steps
+            mgr.now_ns = max(mgr.now_ns, now_ns)
+            ambient = (cfg.thermal_ambient_c
+                       if self._in_span(frac, cfg.thermal_span)
+                       else ROOM_AMBIENT_C)
+            multiplier = error_rate_multiplier(
+                ambient, self.controller.current_rung.use_latency_margin)
+            report.thermal_multiplier_max = max(
+                report.thermal_multiplier_max, multiplier)
+            if step in armed_steps:
+                self.channel.frequency.inject_transition_fault()
+            if step in swing_steps:
+                self._utilization_swing(now_ns)
+            if step % cfg.write_every_steps == 0:
+                self._do_writes(step)
+            try:
+                self._inject(frac, now_ns, step_ns, multiplier)
+                self.controller.maybe_enter_read_mode(now_ns)
+                flood = self._in_span(frac, cfg.flood_span)
+                in_perm = self._in_span(frac, cfg.permanent_span)
+                sample = list(self.addresses) if flood else [
+                    self.addresses[(read_cursor + i) % len(self.addresses)]
+                    for i in range(cfg.reads_per_step)]
+                read_cursor += cfg.reads_per_step
+                if in_perm and self.addresses[0] not in sample:
+                    sample.append(self.addresses[0])
+                for address in sample:
+                    self._checked_read(address)
+            except SafetyViolation:
+                report.safety_violations += 1
+            self._check_inv3()
+            self.controller.observe(now_ns)
+            self._check_inv5(now_ns)
+            self.controller.maybe_enter_read_mode(now_ns)
+            if not self._cluster_ran and self.controller.at_spec:
+                self._run_cluster_phase()
+        self._finalize(cfg.duration_ns)
+        return report
+
+    def _finalize(self, end_ns: float) -> None:
+        report = self.report
+        mgr = self.manager
+        stats = mgr.stats
+        report.reads = stats.reads
+        report.writes = stats.writes
+        report.corrections = stats.corrections
+        report.copy_errors_detected = stats.copy_errors_detected
+        report.injected_errors = self.injector.stats.injected
+        report.injected_by_pattern = dict(sorted(
+            self.injector.stats.by_pattern.items()))
+        report.transition_faults = self.channel.frequency.failed_transitions
+        report.epoch_trips = mgr.epoch_guard.tripped_epochs
+        report.epochs_rolled = mgr.epoch_guard.epochs_rolled
+        report.invariant_checks = dict(self._checks)
+        report.ladder_events = list(self.controller.events)
+        report.final_rung = self.controller.current_rung.name
+        report.remaps = sum(1 for e in self.controller.events
+                            if e.kind == "remap")
+        report.demoted_to_spec = any(
+            e.kind == "demote" and e.to_rung == "spec"
+            for e in self.controller.events)
+        report.repromoted = any(e.kind == "promote"
+                                for e in self.controller.events)
+        report.retired = self.controller.retired
+        report.reprofile_attempts = self.controller.reprofile_attempts
+        report.reprofile_failures = self.controller.reprofile_failures
+        report.fleet_summary = self.advisor.fleet_summary(end_ns)
+        report.groups_after = self.cluster.group_counts()
+        self._run_node_phase()
+
+
+def run_chaos_campaign(config: Optional[ChaosConfig] = None
+                       ) -> SurvivabilityReport:
+    """Build, run, and report one chaos campaign."""
+    return ChaosCampaign(config).run()

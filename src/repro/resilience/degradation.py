@@ -1,0 +1,314 @@
+"""Graceful-degradation ladder for a Hetero-DMR node.
+
+DESIGN.md's reliability story makes correctness unconditional — the
+originals are always recoverable at specification — but *performance*
+under sustained faults still needs an operational policy.  This module
+provides it: a settings ladder from the most aggressive configuration
+(frequency + latency margins) down to manufacturer specification, and a
+:class:`DegradationController` state machine that walks it from the
+signals the rest of the stack already produces:
+
+* :class:`repro.errors.telemetry.MarginAdvice` — CE-rate demotion and
+  UE-driven disablement,
+* :class:`repro.core.epoch_guard.EpochGuard` trips — one trip demotes a
+  rung; repeated trips go straight to specification,
+* repeat-address telemetry — the permanent-fault signature that remaps
+  copies/originals via ``HeteroDMRManager.report_permanent_fault`` and,
+  if it recurs on the remapped module, retires the node to spec,
+* clean observation windows — one re-promotion rung per window, with a
+  bounded-retry re-profile (``core.profiling``) gating the first step
+  off specification.
+
+The controller only ever changes the *fast* setting and only while the
+channel runs at specification (``Channel.retune_fast`` enforces this),
+so every rung change preserves the §6 invariants by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Set
+
+from ..core.profiling import NodeMarginProfiler, ProfileOutcome
+from ..core.replication import HeteroDMRManager
+from ..errors.telemetry import MarginAdvisor, NS_PER_HOUR
+
+#: Margin step between ladder rungs, matching the BIOS measurement grid.
+LADDER_STEP_MTS = 200
+
+
+@dataclass(frozen=True)
+class LadderRung:
+    """One operating point on the degradation ladder."""
+    name: str
+    margin_mts: int
+    use_latency_margin: bool
+
+    @property
+    def is_spec(self) -> bool:
+        return self.margin_mts <= 0
+
+
+def build_ladder(base_margin_mts: int = 800,
+                 step_mts: int = LADDER_STEP_MTS) -> List[LadderRung]:
+    """The settings ladder for a node profiled at ``base_margin_mts``:
+
+    freq+lat @ base -> freq @ base -> freq @ base-step ... -> spec.
+
+    Index 0 is the most aggressive rung; the last rung is manufacturer
+    specification (margin exploitation off)."""
+    if base_margin_mts <= 0:
+        return [LadderRung("spec", 0, False)]
+    if step_mts <= 0:
+        raise ValueError("step_mts must be positive")
+    rungs = [LadderRung("freq+lat@{}".format(base_margin_mts),
+                        base_margin_mts, True)]
+    margin = base_margin_mts
+    while margin > 0:
+        rungs.append(LadderRung("freq@{}".format(margin), margin, False))
+        margin -= step_mts
+    rungs.append(LadderRung("spec", 0, False))
+    return rungs
+
+
+@dataclass(frozen=True)
+class LadderEvent:
+    """One controller action, for the survivability report."""
+    time_ns: float
+    kind: str          # demote | promote | remap | retire | reprofile
+    from_rung: str
+    to_rung: str
+    reason: str
+
+
+class DegradationController:
+    """Walks a Hetero-DMR manager up and down the settings ladder.
+
+    ``observe(now_ns)`` is the single entry point: poll it periodically
+    and it consumes epoch-guard state, margin advice, and repeat-address
+    telemetry, applying at most a handful of rung changes per call.  An
+    optional ``on_rung_change`` hook propagates the effective margin to
+    the cluster scheduler (see ``hpc.cluster.Cluster.demote_node``).
+    """
+
+    def __init__(self, manager: HeteroDMRManager,
+                 advisor: MarginAdvisor,
+                 ladder: Optional[Sequence[LadderRung]] = None,
+                 clean_window_ns: float = 0.05 * NS_PER_HOUR,
+                 demote_dwell_ns: float = 0.02 * NS_PER_HOUR,
+                 spec_after_trips: int = 2,
+                 repeat_threshold: int = 4,
+                 max_remaps: int = 1,
+                 profiler: Optional[NodeMarginProfiler] = None,
+                 profile_channels: Optional[Sequence[Sequence]] = None,
+                 on_rung_change: Optional[Callable[[LadderRung], None]]
+                 = None):
+        if clean_window_ns <= 0 or demote_dwell_ns <= 0:
+            raise ValueError("windows must be positive")
+        if spec_after_trips < 1:
+            raise ValueError("spec_after_trips must be at least 1")
+        self.manager = manager
+        self.advisor = advisor
+        self.ladder = list(ladder if ladder is not None else
+                           build_ladder(manager.config.margin_mts))
+        if not self.ladder or not self.ladder[-1].is_spec:
+            raise ValueError("ladder must end at specification")
+        self.clean_window_ns = clean_window_ns
+        self.demote_dwell_ns = demote_dwell_ns
+        self.spec_after_trips = spec_after_trips
+        self.repeat_threshold = repeat_threshold
+        self.max_remaps = max_remaps
+        self.profiler = profiler
+        self.profile_channels = profile_channels
+        self.on_rung_change = on_rung_change
+        self.rung_index = 0
+        self.retired = False
+        self.events: List[LadderEvent] = []
+        self.reprofile_attempts = 0
+        self.reprofile_failures = 0
+        self.last_change_ns = 0.0
+        self.last_error_ns = 0.0
+        self._last_copy_errors = 0
+        self._seen_trips = 0
+        self._remapped_modules: Set[str] = set()
+        self._apply_rung(0.0)
+
+    # -- state --------------------------------------------------------------------
+
+    @property
+    def current_rung(self) -> LadderRung:
+        return self.ladder[self.rung_index]
+
+    @property
+    def at_spec(self) -> bool:
+        return self.current_rung.is_spec
+
+    @property
+    def spec_index(self) -> int:
+        return len(self.ladder) - 1
+
+    def _free_module_id(self) -> Optional[str]:
+        idx = self.manager.free_module_index
+        if idx is None:
+            return None
+        return self.manager.channel.modules[idx].module_id
+
+    # -- rung changes -------------------------------------------------------------
+
+    def _apply_rung(self, now_ns: float) -> None:
+        """Reconfigure the manager for the current rung: slow to spec,
+        swap the fast timing, derate the config.  At the spec rung the
+        fast setting is removed entirely — the node must not be able to
+        leave specification even by accident."""
+        rung = self.current_rung
+        mgr = self.manager
+        mgr.now_ns = max(mgr.now_ns, now_ns)
+        mgr.enter_write_mode()
+        cfg = mgr.config.derated(margin_mts=rung.margin_mts,
+                                 use_latency_margin=rung.use_latency_margin)
+        mgr.config = cfg
+        mgr.channel.retune_fast(
+            None if rung.is_spec else cfg.fast_timing())
+        self.last_change_ns = now_ns
+        if self.on_rung_change is not None:
+            self.on_rung_change(rung)
+
+    def _move_to(self, index: int, now_ns: float, kind: str,
+                 reason: str) -> None:
+        index = max(0, min(index, self.spec_index))
+        if index == self.rung_index and kind not in ("remap", "retire",
+                                                     "reprofile"):
+            return
+        frm = self.current_rung.name
+        self.rung_index = index
+        self._apply_rung(now_ns)
+        self.events.append(LadderEvent(now_ns, kind, frm,
+                                       self.current_rung.name, reason))
+
+    def maybe_enter_read_mode(self, now_ns: float) -> bool:
+        """Speed up for reads when the current rung permits it."""
+        mgr = self.manager
+        mgr.now_ns = max(mgr.now_ns, now_ns)
+        if self.at_spec or not mgr.replication_active:
+            return False
+        mgr.enter_read_mode()
+        return not mgr.in_write_mode
+
+    # -- the state machine ----------------------------------------------------------
+
+    def observe(self, now_ns: float) -> List[LadderEvent]:
+        """Consume telemetry and epoch state; returns new events."""
+        before = len(self.events)
+        mgr = self.manager
+        mgr.now_ns = max(mgr.now_ns, now_ns)
+        # Track error recency for the clean-window promotion gate.
+        errors = mgr.stats.copy_errors_detected
+        if errors > self._last_copy_errors:
+            self._last_copy_errors = errors
+            self.last_error_ns = now_ns
+        module_id = self._free_module_id()
+        advice = (self.advisor.advise(module_id, now_ns)
+                  if module_id is not None else None)
+        self._check_permanent_faults(now_ns, advice)
+        self._check_epoch_trips(now_ns)
+        self._check_advice(now_ns, advice)
+        self._check_promotion(now_ns)
+        return self.events[before:]
+
+    def _check_permanent_faults(self, now_ns: float, advice) -> None:
+        """A permanent fault is a *localized* signature: the same few
+        addresses repeating while the module's overall CE rate stays
+        normal.  When the whole module is noisy (thermal excursion,
+        epoch flood) every address repeats — that regime belongs to
+        rate-based demotion and the epoch guard, not remapping."""
+        mgr = self.manager
+        module_id = self._free_module_id()
+        if self.retired or module_id is None or \
+                not mgr.replication_active:
+            return
+        if advice is None or advice.action != "keep":
+            return
+        if module_id in self._remapped_modules:
+            return
+        repeats = self.advisor.log_for(module_id).repeat_addresses(
+            self.repeat_threshold)
+        if not repeats:
+            return
+        self._remapped_modules.add(module_id)
+        if len(self._remapped_modules) > self.max_remaps:
+            # The remapped-to module shows the same signature: out of
+            # healthy modules to run fast — retire to specification.
+            self.retired = True
+            self._move_to(self.spec_index, now_ns, "retire",
+                          "repeat addresses on {} after remap"
+                          .format(module_id))
+            return
+        mgr.report_permanent_fault(mgr.free_module_index)
+        self.events.append(LadderEvent(
+            now_ns, "remap", self.current_rung.name,
+            self.current_rung.name,
+            "permanent fault on {}: {} repeat addresses"
+            .format(module_id, len(repeats))))
+
+    def _check_epoch_trips(self, now_ns: float) -> None:
+        trips = self.manager.epoch_guard.tripped_epochs
+        if trips <= self._seen_trips:
+            return
+        self._seen_trips = trips
+        if trips >= self.spec_after_trips:
+            self._move_to(self.spec_index, now_ns, "demote",
+                          "epoch trip #{}: margin off until clean window"
+                          .format(trips))
+        else:
+            self._move_to(self.rung_index + 1, now_ns, "demote",
+                          "epoch trip #{}".format(trips))
+
+    def _check_advice(self, now_ns: float, advice) -> None:
+        if advice is None or self.at_spec:
+            return
+        if advice.action == "disable":
+            self._move_to(self.spec_index, now_ns, "demote",
+                          advice.reason)
+        elif advice.action == "demote" and \
+                now_ns - self.last_change_ns >= self.demote_dwell_ns:
+            self._move_to(self.rung_index + 1, now_ns, "demote",
+                          advice.reason)
+
+    def _check_promotion(self, now_ns: float) -> None:
+        if self.retired or self.rung_index == 0:
+            return
+        quiet_since = max(self.last_change_ns, self.last_error_ns)
+        if now_ns - quiet_since < self.clean_window_ns:
+            return
+        if not self.manager.epoch_guard.margin_allowed(now_ns):
+            return
+        if self.at_spec and self.profiler is not None:
+            if not self._reprofile(now_ns):
+                return
+        self._move_to(self.rung_index - 1, now_ns, "promote",
+                      "clean window ({:.3f} h)".format(
+                          self.clean_window_ns / NS_PER_HOUR))
+
+    def _reprofile(self, now_ns: float) -> bool:
+        """Leaving specification requires a fresh margin profile; a
+        node that cannot complete one (thermal excursion, flaky boot)
+        keeps operating at spec — correctness never depended on the
+        profile (Section III-E)."""
+        outcome: ProfileOutcome = self.profiler.profile_with_retry(
+            self.profile_channels or [], now_s=now_ns / 1e9)
+        self.reprofile_attempts += outcome.attempts
+        if not outcome.succeeded:
+            self.reprofile_failures += 1
+            self.events.append(LadderEvent(
+                now_ns, "reprofile", self.current_rung.name,
+                self.current_rung.name,
+                "failed after {} attempts; staying at spec"
+                .format(outcome.attempts)))
+            # Push the quiet clock back so the next window retries.
+            self.last_change_ns = now_ns
+            return False
+        self.events.append(LadderEvent(
+            now_ns, "reprofile", self.current_rung.name,
+            self.current_rung.name,
+            "succeeded after {} attempts".format(outcome.attempts)))
+        return True

@@ -1,0 +1,174 @@
+"""Survivability report for a chaos campaign.
+
+A campaign's verdict must be machine-checkable and byte-reproducible:
+CI runs the same seeded smoke campaign twice and compares the rendered
+reports with ``cmp``.  Everything rendered here therefore comes from
+deterministic simulation state — no wall-clock, no unsorted container
+iteration, and all floats through the fixed-precision formatters of
+:mod:`repro.analysis.reporting`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..analysis.reporting import format_event_log, format_kv
+from ..errors.telemetry import NS_PER_HOUR
+from .degradation import LadderEvent
+
+
+@dataclass
+class SurvivabilityReport:
+    """Everything a chaos campaign measured, plus the pass verdict."""
+    seed: int
+    duration_hours: float
+    # Datapath totals.
+    reads: int = 0
+    writes: int = 0
+    corrections: int = 0
+    copy_errors_detected: int = 0
+    injected_errors: int = 0
+    injected_by_pattern: Dict[str, int] = field(default_factory=dict)
+    # Fault classes exercised.
+    transition_faults: int = 0
+    epoch_trips: int = 0
+    epochs_rolled: int = 0
+    remaps: int = 0
+    thermal_multiplier_max: float = 1.0
+    # Invariant verdicts (DESIGN.md section 6).
+    silent_corruptions: int = 0        # invariant 4: must stay zero
+    safety_violations: int = 0         # invariant 3: must stay zero
+    broadcast_divergences: int = 0     # invariant 6: original != copy
+    replication_divergences: int = 0   # invariant 7: contents changed
+    uncorrectable_errors: int = 0      # original path ever failed
+    invariant_checks: Dict[str, int] = field(default_factory=dict)
+    # Ladder trajectory.
+    ladder_events: List[LadderEvent] = field(default_factory=list)
+    final_rung: str = ""
+    demoted_to_spec: bool = False
+    repromoted: bool = False
+    retired: bool = False
+    reprofile_attempts: int = 0
+    reprofile_failures: int = 0
+    fleet_summary: Dict[str, int] = field(default_factory=dict)
+    # Node-level (cycle-ish) phase.
+    node_slowdown: float = 1.0
+    node_read_retries: int = 0
+    node_failed_transitions: int = 0
+    node_write_mode_entries: int = 0
+    # Cluster phase.
+    groups_before: Dict[int, int] = field(default_factory=dict)
+    groups_demoted: Dict[int, int] = field(default_factory=dict)
+    groups_after: Dict[int, int] = field(default_factory=dict)
+    jobs_completed: int = 0
+    placement_consistent: bool = False
+
+    # -- verdict --------------------------------------------------------------------
+
+    def failures(self) -> List[str]:
+        """Human-readable list of unmet acceptance conditions."""
+        out: List[str] = []
+        if self.silent_corruptions:
+            out.append("{} silent data corruptions (invariant 4)"
+                       .format(self.silent_corruptions))
+        if self.safety_violations:
+            out.append("{} safety violations (invariant 3)"
+                       .format(self.safety_violations))
+        if self.broadcast_divergences:
+            out.append("{} broadcast divergences (invariant 6)"
+                       .format(self.broadcast_divergences))
+        if self.replication_divergences:
+            out.append("{} replication divergences (invariant 7)"
+                       .format(self.replication_divergences))
+        if self.uncorrectable_errors:
+            out.append("{} uncorrectable errors on the original path"
+                       .format(self.uncorrectable_errors))
+        if self.injected_errors == 0:
+            out.append("no copy corruption injected")
+        if self.transition_faults == 0:
+            out.append("no frequency-transition faults exercised")
+        if self.epoch_trips == 0:
+            out.append("epoch guard never tripped")
+        if self.remaps == 0:
+            out.append("no permanent-fault remap exercised")
+        if self.thermal_multiplier_max <= 1.0:
+            out.append("no thermal excursion applied")
+        if not self.demoted_to_spec:
+            out.append("ladder never demoted to specification")
+        if not self.repromoted:
+            out.append("ladder never re-promoted after a clean window")
+        if not self.placement_consistent:
+            out.append("cluster placement inconsistent with margins")
+        return out
+
+    def passed(self) -> bool:
+        return not self.failures()
+
+    # -- rendering ------------------------------------------------------------------
+
+    def render(self) -> str:
+        sections = [
+            format_kv("Chaos campaign", [
+                ("seed", self.seed),
+                ("duration_hours", self.duration_hours),
+                ("verdict", "PASS" if self.passed() else "FAIL"),
+            ]),
+            format_kv("Datapath", [
+                ("reads", self.reads),
+                ("writes", self.writes),
+                ("copy_errors_detected", self.copy_errors_detected),
+                ("corrections", self.corrections),
+                ("injected_errors", self.injected_errors),
+            ] + [("injected[{}]".format(k), v) for k, v in
+                 sorted(self.injected_by_pattern.items())]),
+            format_kv("Fault classes", [
+                ("transition_faults", self.transition_faults),
+                ("epoch_trips", self.epoch_trips),
+                ("epochs_rolled", self.epochs_rolled),
+                ("permanent_fault_remaps", self.remaps),
+                ("thermal_multiplier_max", self.thermal_multiplier_max),
+            ]),
+            format_kv("Invariants", [
+                ("silent_corruptions", self.silent_corruptions),
+                ("safety_violations", self.safety_violations),
+                ("broadcast_divergences", self.broadcast_divergences),
+                ("replication_divergences",
+                 self.replication_divergences),
+                ("uncorrectable_errors", self.uncorrectable_errors),
+            ] + [(k, v) for k, v in
+                 sorted(self.invariant_checks.items())]),
+            format_event_log("Degradation ladder", [
+                ("{:.4f}h".format(e.time_ns / NS_PER_HOUR), e.kind,
+                 "{} -> {}".format(e.from_rung, e.to_rung), e.reason)
+                for e in self.ladder_events]),
+            format_kv("Ladder outcome", [
+                ("final_rung", self.final_rung),
+                ("demoted_to_spec", self.demoted_to_spec),
+                ("repromoted", self.repromoted),
+                ("retired", self.retired),
+                ("reprofile_attempts", self.reprofile_attempts),
+                ("reprofile_failures", self.reprofile_failures),
+            ] + [("fleet[{}]".format(k), v) for k, v in
+                 sorted(self.fleet_summary.items())]),
+            format_kv("Node phase", [
+                ("slowdown_vs_healthy", self.node_slowdown),
+                ("read_retries", self.node_read_retries),
+                ("failed_transitions", self.node_failed_transitions),
+                ("write_mode_entries", self.node_write_mode_entries),
+            ]),
+            format_kv("Cluster phase", [
+                ("jobs_completed", self.jobs_completed),
+                ("placement_consistent", self.placement_consistent),
+            ] + [("groups_before[{}]".format(k), v) for k, v in
+                 sorted(self.groups_before.items(), reverse=True)]
+              + [("groups_demoted[{}]".format(k), v) for k, v in
+                 sorted(self.groups_demoted.items(), reverse=True)]
+              + [("groups_after[{}]".format(k), v) for k, v in
+                 sorted(self.groups_after.items(), reverse=True)]),
+        ]
+        failures = self.failures()
+        if failures:
+            sections.append(format_kv(
+                "Failures", [(i + 1, f) for i, f in enumerate(failures)]))
+        return "\n\n".join(sections) + "\n"

@@ -64,9 +64,15 @@ class NodeConfig:
     seed: int = 12345
     use_prefetchers: bool = True
     read_error_rate: float = 0.0
+    #: Probability that any frequency transition fails and retries
+    #: (chaos-campaign knob; 0 disables the fault model entirely).
+    transition_fault_rate: float = 0.0
     mlp_limit: int = 16
 
     def __post_init__(self) -> None:
+        if not 0.0 <= self.transition_fault_rate <= 1.0:
+            raise ValueError("transition_fault_rate must be a "
+                             "probability")
         if self.design not in DESIGNS:
             raise ValueError("unknown design {!r}; valid: {}".format(
                 self.design, ", ".join(DESIGNS)))
@@ -101,6 +107,8 @@ class NodeResult:
     transitions: int
     self_refresh_rank_ns: float
     effective_design: str
+    failed_transitions: int = 0
+    read_retries: int = 0
 
     @property
     def ipc(self) -> float:
@@ -228,9 +236,14 @@ class NodeSimulation:
             modules = [Module(ModuleSpec(), "C{}M{}".format(c, m),
                               true_margin_mts=margin)
                        for m in range(hier.modules_per_channel)]
-            channels.append(Channel(
+            channel = Channel(
                 index=c, modules=modules, safe_timing=spec_timing,
-                fast_timing=hdmr.fast_timing()))
+                fast_timing=hdmr.fast_timing())
+            if self.config.transition_fault_rate > 0.0:
+                channel.frequency.seed_faults(
+                    self.config.seed + 7919 * c,
+                    self.config.transition_fault_rate)
+            channels.append(channel)
         return channels
 
     def _make_policy(self, channel_index: int) -> AccessPolicy:
@@ -396,10 +409,13 @@ class NodeSimulation:
         activates = hits = misses = conflicts = 0
         bus_busy = 0.0
         transitions = 0
+        failed_transitions = 0
+        read_retries = 0
         self_refresh_ns = 0.0
         for ctrl in self.memctl.controllers:
             s = ctrl.stats
             reads += s.reads_issued
+            read_retries += s.read_retries
             writes += s.writes_issued
             bursts += s.write_bursts
             cleaning += s.cleaning_writes
@@ -411,6 +427,7 @@ class NodeSimulation:
             bus_busy += channel.stats.bus_busy_ns
             transitions += (channel.frequency.transitions_to_fast +
                             channel.frequency.transitions_to_safe)
+            failed_transitions += channel.frequency.failed_transitions
             for module in channel.modules:
                 for rank in module.ranks:
                     for bank in rank.banks:
@@ -442,6 +459,8 @@ class NodeSimulation:
             transitions=transitions,
             self_refresh_rank_ns=self_refresh_ns,
             effective_design=self.effective_design,
+            failed_transitions=failed_transitions,
+            read_retries=read_retries,
         )
 
 

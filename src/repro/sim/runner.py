@@ -56,17 +56,29 @@ class ExperimentRunner:
             design: str = "baseline",
             timing: Optional[TimingParameters] = None,
             margin_mts: int = 800,
-            memory_utilization: float = 0.15) -> NodeResult:
-        """Simulate one cell (cached)."""
+            memory_utilization: float = 0.15,
+            use_latency_margin: bool = True,
+            read_error_rate: float = 0.0,
+            transition_fault_rate: float = 0.0) -> NodeResult:
+        """Simulate one cell (cached).
+
+        ``use_latency_margin``, ``read_error_rate``, and
+        ``transition_fault_rate`` parameterize degradation-ladder and
+        chaos-campaign cells; the figure benches leave them at their
+        defaults."""
         key = (suite, hierarchy.name, design,
                timing.data_rate_mts if timing else None,
                timing.tRCD_ns if timing else None,
-               margin_mts, memory_utilization)
+               margin_mts, memory_utilization, use_latency_margin,
+               read_error_rate, transition_fault_rate)
         if key not in self._cache:
             self._cache[key] = simulate_node(NodeConfig(
                 suite=suite, hierarchy=hierarchy, design=design,
                 timing=timing, margin_mts=margin_mts,
                 memory_utilization=memory_utilization,
+                use_latency_margin=use_latency_margin,
+                read_error_rate=read_error_rate,
+                transition_fault_rate=transition_fault_rate,
                 refs_per_core=self.refs_per_core, seed=self.seed))
         return self._cache[key]
 

@@ -95,6 +95,23 @@ def test_correct_with_wrong_address_raises():
         CODEC.correct(blk, 0x140)
 
 
+def test_zeroed_block_detected_at_address_zero():
+    # Regression: address 0 folds six zero bytes into the message, so
+    # without the constant format tag the all-zero 72-byte stored block
+    # was a valid codeword there and stuck-at-zero faults escaped
+    # detect-only decoding silently.
+    blk = CODEC.encode([0] * 64, address=0)
+    assert blk.ecc != (0,) * BLOCK_ECC_BYTES
+    zeroed = blk.with_stored_bytes([0] * 72)
+    assert not CODEC.check(zeroed, 0)
+
+
+def test_zeroed_block_detected_at_every_small_address():
+    zeroed = CodedBlock((0,) * 64, (0,) * 8)
+    for address in range(16):
+        assert not CODEC.check(zeroed, address)
+
+
 def test_no_address_codec():
     codec = BambooCodec(include_address=False)
     blk = codec.encode(list(DATA), address=1)

@@ -53,3 +53,13 @@ def test_hpc_command(capsys):
     assert main(["hpc", "--nodes", "48", "--jobs", "150"]) == 0
     out = capsys.readouterr().out
     assert "turnaround speedup" in out
+
+
+def test_chaos_smoke_command(capsys, tmp_path):
+    report = tmp_path / "chaos.txt"
+    assert main(["--seed", "2026", "chaos", "--smoke",
+                 "--report-file", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "verdict" in out and "PASS" in out
+    assert "Degradation ladder" in out
+    assert report.read_text() == out

@@ -1,0 +1,53 @@
+"""Regression tests: EpochGuard must tolerate out-of-order timestamps.
+
+Events can reach the guard with non-monotonic timestamps (event-loop
+reordering, skew between channels).  ``_roll_epoch`` clamps to a
+high-water mark so a stale timestamp can neither stall epoch rolling
+nor resurrect a previous epoch's error budget.
+"""
+
+from repro.core.epoch_guard import NS_PER_HOUR, EpochGuard
+
+
+def test_stale_timestamp_does_not_unroll_epoch():
+    g = EpochGuard(epoch_hours=1.0, threshold=5)
+    g.record_error(0.5 * NS_PER_HOUR)
+    assert g.epochs_rolled == 0
+    g.record_error(1.5 * NS_PER_HOUR)
+    assert g.epochs_rolled == 1
+    # A late-arriving event stamped inside epoch 0 must neither roll
+    # again nor resurrect epoch 0's budget.
+    g.record_error(0.6 * NS_PER_HOUR)
+    assert g.epochs_rolled == 1
+    assert g.errors_this_epoch == 2
+
+
+def test_stale_timestamp_cannot_rearm_tripped_epoch():
+    g = EpochGuard(epoch_hours=1.0, threshold=2)
+    for _ in range(3):
+        g.record_error(0.9 * NS_PER_HOUR)
+    assert not g.margin_allowed(0.9 * NS_PER_HOUR)
+    # An out-of-order probe from earlier in the epoch must not re-arm.
+    assert not g.margin_allowed(0.1 * NS_PER_HOUR)
+    # Genuinely entering the next epoch re-arms.
+    assert g.margin_allowed(1.05 * NS_PER_HOUR)
+    assert g.epochs_rolled == 1
+
+
+def test_far_past_timestamp_then_recovery():
+    g = EpochGuard(epoch_hours=1.0, threshold=100)
+    g.record_error(2.7 * NS_PER_HOUR)
+    assert g.epochs_rolled == 2
+    g.record_error(0.2 * NS_PER_HOUR)    # stale, two epochs back
+    assert g.epochs_rolled == 2
+    assert g.errors_this_epoch == 2      # lands in the current epoch
+    g.record_error(3.1 * NS_PER_HOUR)
+    assert g.epochs_rolled == 3
+    assert g.errors_this_epoch == 1
+
+
+def test_multi_epoch_jump_counts_every_epoch():
+    g = EpochGuard(epoch_hours=0.5, threshold=100)
+    g.record_error(0.1 * NS_PER_HOUR)
+    g.record_error(2.3 * NS_PER_HOUR)
+    assert g.epochs_rolled == 4

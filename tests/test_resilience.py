@@ -1,0 +1,274 @@
+"""Tests for the resilience subsystem: the degradation ladder state
+machine and the end-to-end chaos campaign."""
+
+import pytest
+
+from repro.characterization.modules import SyntheticModule
+from repro.characterization.testbench import BootFailure
+from repro.core.config import HeteroDMRConfig
+from repro.core.profiling import NodeMarginProfiler
+from repro.core.replication import HeteroDMRManager
+from repro.dram.channel import Channel
+from repro.dram.module import Module, ModuleSpec
+from repro.errors.telemetry import NS_PER_HOUR, MarginAdvisor
+from repro.resilience import (ChaosConfig, DegradationController,
+                              FlakyTestMachine, SurvivabilityReport,
+                              build_ladder, run_chaos_campaign)
+
+H = NS_PER_HOUR
+
+
+def make_stack(threshold=5, demote_ce_rate=100.0):
+    ch = Channel(index=0)
+    ch.modules = [Module(ModuleSpec(), "M0", true_margin_mts=600),
+                  Module(ModuleSpec(), "M1", true_margin_mts=800)]
+    advisor = MarginAdvisor(demote_ce_rate=demote_ce_rate,
+                            window_ns=0.1 * H)
+    mgr = HeteroDMRManager(
+        ch,
+        config=HeteroDMRConfig(margin_mts=800, epoch_hours=0.1,
+                               epoch_error_threshold=threshold),
+        telemetry=advisor)
+    for a in range(4):
+        mgr.write(a, [a + 1] * 64)
+    mgr.observe_utilization(0.2)
+    return mgr, advisor
+
+
+def make_controller(mgr, advisor, **kw):
+    kw.setdefault("clean_window_ns", 0.05 * H)
+    kw.setdefault("demote_dwell_ns", 0.02 * H)
+    return DegradationController(mgr, advisor, **kw)
+
+
+def free_id(mgr):
+    return mgr.channel.modules[mgr.free_module_index].module_id
+
+
+# -- ladder shape ------------------------------------------------------------
+
+
+def test_build_ladder_shape():
+    rungs = build_ladder(800)
+    assert [r.name for r in rungs] == [
+        "freq+lat@800", "freq@800", "freq@600", "freq@400",
+        "freq@200", "spec"]
+    assert rungs[0].use_latency_margin
+    assert all(not r.use_latency_margin for r in rungs[1:])
+    assert rungs[-1].is_spec and rungs[-1].margin_mts == 0
+
+
+def test_build_ladder_degenerate_and_invalid():
+    assert [r.name for r in build_ladder(0)] == ["spec"]
+    with pytest.raises(ValueError):
+        build_ladder(800, step_mts=0)
+
+
+# -- controller state machine ------------------------------------------------
+
+
+def test_epoch_trip_demotes_one_rung():
+    mgr, advisor = make_stack(threshold=5)
+    ctl = make_controller(mgr, advisor)
+    for _ in range(6):
+        mgr.epoch_guard.record_error(0.01 * H)
+    events = ctl.observe(0.01 * H)
+    assert [e.kind for e in events] == ["demote"]
+    assert ctl.current_rung.name == "freq@800"
+
+
+def test_second_epoch_trip_goes_straight_to_spec():
+    mgr, advisor = make_stack(threshold=5)
+    ctl = make_controller(mgr, advisor)
+    for _ in range(6):
+        mgr.epoch_guard.record_error(0.01 * H)
+    ctl.observe(0.01 * H)
+    # Next epoch floods too.
+    for _ in range(6):
+        mgr.epoch_guard.record_error(0.12 * H)
+    ctl.observe(0.12 * H)
+    assert ctl.at_spec
+    assert ctl.current_rung.name == "spec"
+
+
+def test_disable_advice_goes_to_spec():
+    mgr, advisor = make_stack()
+    ctl = make_controller(mgr, advisor)
+    advisor.record(0.01 * H, free_id(mgr), 0x40, corrected=False)
+    events = ctl.observe(0.01 * H)
+    assert ctl.at_spec
+    assert any(e.kind == "demote" and e.to_rung == "spec"
+               for e in events)
+
+
+def test_demote_advice_respects_dwell():
+    mgr, advisor = make_stack(demote_ce_rate=100.0)
+    ctl = make_controller(mgr, advisor, demote_dwell_ns=0.02 * H)
+    fid = free_id(mgr)
+    for i in range(30):   # 300/h in a 0.1 h window: above threshold
+        advisor.record(0.01 * H, fid, 0x100 + i, corrected=True)
+    # Inside the dwell since the rung was applied at t=0: no change.
+    assert ctl.observe(0.01 * H) == []
+    assert ctl.rung_index == 0
+    # Past the dwell the same advice demotes one rung.
+    events = ctl.observe(0.03 * H)
+    assert [e.kind for e in events] == ["demote"]
+    assert ctl.current_rung.name == "freq@800"
+
+
+def test_clean_window_promotes_one_rung():
+    mgr, advisor = make_stack(threshold=5)
+    ctl = make_controller(mgr, advisor, clean_window_ns=0.05 * H)
+    for _ in range(6):
+        mgr.epoch_guard.record_error(0.01 * H)
+    ctl.observe(0.01 * H)
+    assert ctl.rung_index == 1
+    assert ctl.observe(0.03 * H) == []            # window still open
+    events = ctl.observe(0.15 * H)
+    assert [e.kind for e in events] == ["promote"]
+    assert ctl.rung_index == 0
+
+
+def test_reprofile_failure_keeps_node_at_spec():
+    mgr, advisor = make_stack()
+    profiler = NodeMarginProfiler(
+        machine=FlakyTestMachine(fail_calls=99, seed=1))
+    channels = [[SyntheticModule(
+        "P0", ModuleSpec(), true_margin_mts=820.0,
+        boot_margin_mts=1050.0, voltage_uplift_mts=100.0,
+        ce_rate_per_hour=40.0, ue_rate_per_hour=0.0)]]
+    ctl = make_controller(mgr, advisor, profiler=profiler,
+                          profile_channels=channels)
+    advisor.record(0.01 * H, free_id(mgr), 0x40, corrected=False)
+    ctl.observe(0.01 * H)
+    assert ctl.at_spec
+    events = ctl.observe(0.2 * H)
+    assert ctl.at_spec                      # promotion gated off
+    assert [e.kind for e in events] == ["reprofile"]
+    assert ctl.reprofile_failures == 1
+    assert ctl.reprofile_attempts == 4      # 1 try + 3 bounded retries
+
+
+def test_reprofile_success_releases_spec():
+    mgr, advisor = make_stack()
+    profiler = NodeMarginProfiler(
+        machine=FlakyTestMachine(fail_calls=2, seed=1))
+    channels = [[SyntheticModule(
+        "P0", ModuleSpec(), true_margin_mts=820.0,
+        boot_margin_mts=1050.0, voltage_uplift_mts=100.0,
+        ce_rate_per_hour=40.0, ue_rate_per_hour=0.0)]]
+    ctl = make_controller(mgr, advisor, profiler=profiler,
+                          profile_channels=channels)
+    advisor.record(0.01 * H, free_id(mgr), 0x40, corrected=False)
+    ctl.observe(0.01 * H)
+    assert ctl.at_spec
+    events = ctl.observe(0.2 * H)
+    assert [e.kind for e in events] == ["reprofile", "promote"]
+    assert not ctl.at_spec
+    assert ctl.reprofile_attempts == 3
+
+
+def test_repeat_addresses_trigger_remap():
+    mgr, advisor = make_stack(demote_ce_rate=100.0)
+    ctl = make_controller(mgr, advisor, repeat_threshold=4)
+    fid = free_id(mgr)
+    before = mgr.free_module_index
+    for _ in range(4):    # 40/h: advice stays 'keep' (localized fault)
+        advisor.record(0.01 * H, fid, 0x0, corrected=True)
+    events = ctl.observe(0.01 * H)
+    assert [e.kind for e in events] == ["remap"]
+    assert mgr.free_module_index != before
+    assert not ctl.retired
+    # Data survives the role swap.
+    mgr.enter_write_mode()
+    for a in range(4):
+        assert mgr.read(a) == tuple([a + 1] * 64)
+
+
+def test_second_permanent_fault_retires_to_spec():
+    mgr, advisor = make_stack(demote_ce_rate=100.0)
+    ctl = make_controller(mgr, advisor, repeat_threshold=4, max_remaps=1)
+    for _ in range(4):
+        advisor.record(0.01 * H, free_id(mgr), 0x0, corrected=True)
+    ctl.observe(0.01 * H)
+    # The remapped-to module shows the same signature.
+    for _ in range(4):
+        advisor.record(0.02 * H, free_id(mgr), 0x1, corrected=True)
+    events = ctl.observe(0.02 * H)
+    assert any(e.kind == "retire" for e in events)
+    assert ctl.retired and ctl.at_spec
+    # A retired node never promotes again.
+    assert ctl.observe(1.0 * H) == []
+    assert ctl.at_spec
+
+
+def test_flood_noise_does_not_remap():
+    """When the whole module is noisy the CE rate is above the demote
+    threshold, so repeats must be attributed to the flood, not to a
+    permanent fault."""
+    mgr, advisor = make_stack(demote_ce_rate=100.0)
+    ctl = make_controller(mgr, advisor, repeat_threshold=4)
+    fid = free_id(mgr)
+    before = mgr.free_module_index
+    for i in range(40):   # 400/h: advice is 'demote', not 'keep'
+        advisor.record(0.01 * H, fid, i % 4, corrected=True)
+    events = ctl.observe(0.05 * H)
+    assert all(e.kind != "remap" for e in events)
+    assert mgr.free_module_index == before
+
+
+# -- report ------------------------------------------------------------------
+
+
+def test_empty_report_fails_with_reasons():
+    rep = SurvivabilityReport(seed=1, duration_hours=1.0)
+    assert not rep.passed()
+    failures = " ".join(rep.failures())
+    assert "no copy corruption injected" in failures
+    assert "never demoted" in failures
+    assert "FAIL" in rep.render()
+
+
+def test_silent_corruption_fails_report():
+    rep = SurvivabilityReport(seed=1, duration_hours=1.0,
+                              silent_corruptions=3)
+    assert any("silent" in f for f in rep.failures())
+
+
+# -- end-to-end campaign -----------------------------------------------------
+
+
+def test_smoke_campaign_survives_and_is_deterministic():
+    rep1 = run_chaos_campaign(ChaosConfig.smoke())
+    assert rep1.passed(), rep1.failures()
+    assert rep1.silent_corruptions == 0
+    assert rep1.safety_violations == 0
+    assert rep1.broadcast_divergences == 0
+    assert rep1.replication_divergences == 0
+    assert rep1.uncorrectable_errors == 0
+    # Every fault class fired.
+    assert set(rep1.injected_by_pattern) == {
+        "single_bit_flip", "multi_byte_burst", "chip_failure",
+        "full_block_error", "stuck_at_zero", "row_corruption"}
+    assert rep1.transition_faults > 0
+    assert rep1.epoch_trips >= 2
+    assert rep1.remaps == 1
+    assert rep1.thermal_multiplier_max == 4.0
+    # The ladder demoted to spec and climbed all the way back.
+    assert rep1.demoted_to_spec and rep1.repromoted
+    assert rep1.final_rung == "freq+lat@800"
+    assert rep1.reprofile_attempts >= 3
+    # Cluster placement saw the demotion and the restoration.
+    assert rep1.groups_demoted.get(0) == 1
+    assert 0 not in rep1.groups_after
+    assert rep1.placement_consistent
+    # Same seed, byte-identical report.
+    rep2 = run_chaos_campaign(ChaosConfig.smoke())
+    assert rep1.render() == rep2.render()
+
+
+def test_smoke_campaign_other_seed_still_zero_sdc():
+    rep = run_chaos_campaign(ChaosConfig.smoke(seed=7))
+    assert rep.silent_corruptions == 0
+    assert rep.safety_violations == 0
+    assert rep.uncorrectable_errors == 0

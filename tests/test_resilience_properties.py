@@ -1,0 +1,119 @@
+"""Property-style chaos tests: DESIGN.md section 6 invariants under
+randomized fault/operation schedules (satellite of the chaos engine).
+
+Invariant 3: away from spec, original-holding modules self-refresh.
+Invariant 4: data returned always matches the last write, whatever
+             was injected into the copies.
+Invariant 6: broadcast writes keep original == copy.
+Invariant 7: replication activation/deactivation preserves contents.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import HeteroDMRConfig
+from repro.core.epoch_guard import EpochGuard
+from repro.core.replication import HeteroDMRManager, UncorrectableError
+from repro.dram.channel import Channel
+from repro.dram.frequency import FrequencyState
+from repro.dram.module import Module, ModuleSpec
+from repro.errors.injector import ErrorInjector
+from repro.errors.models import ERROR_PATTERNS
+
+H = 3_600_000_000_000.0
+ADDRS = list(range(6))
+
+
+def build(seed):
+    ch = Channel(index=0)
+    ch.modules = [Module(ModuleSpec(), "M0", true_margin_mts=600),
+                  Module(ModuleSpec(), "M1", true_margin_mts=800)]
+    mgr = HeteroDMRManager(ch, config=HeteroDMRConfig(
+        margin_mts=800, epoch_hours=0.05, epoch_error_threshold=50))
+    rng = random.Random(seed)
+    shadow = {}
+    for a in ADDRS:
+        data = [rng.randrange(256) for _ in range(64)]
+        mgr.write(a, data)
+        shadow[a] = tuple(data)
+    mgr.observe_utilization(0.2)
+    mgr.enter_read_mode()
+    return mgr, ErrorInjector(mgr, seed=seed ^ 0x99), shadow, rng
+
+
+def check_inv3(mgr):
+    if mgr.channel.frequency.state is FrequencyState.SAFE:
+        return
+    for m in mgr.channel.modules:
+        assert m.holds_copies or m.in_self_refresh
+
+
+def check_inv6(mgr, address):
+    if not mgr.replication_active:
+        return
+    free = mgr.channel.modules[mgr.free_module_index]
+    original = mgr._original_module(address)
+    assert free.read_block(address).stored_bytes() == \
+        original.read_block(address).stored_bytes()
+
+
+OPS = st.lists(
+    st.tuples(st.sampled_from(["read", "write", "inject", "swing",
+                               "mode"]),
+              st.integers(0, len(ADDRS) - 1),
+              st.sampled_from(sorted(ERROR_PATTERNS))),
+    min_size=1, max_size=50)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2 ** 20), OPS)
+def test_invariants_under_random_chaos(seed, ops):
+    mgr, injector, shadow, rng = build(seed)
+    now = 0.0
+    for op, addr, pattern in ops:
+        now += 0.001 * H
+        mgr.now_ns = max(mgr.now_ns, now)
+        if op == "write":
+            mgr.enter_write_mode()
+            data = [rng.randrange(256) for _ in range(64)]
+            mgr.write(addr, data)
+            shadow[addr] = tuple(data)
+            check_inv6(mgr, addr)                       # invariant 6
+        elif op == "inject" and mgr.replication_active:
+            injector.corrupt_copy(addr, pattern)
+        elif op == "swing":
+            mgr.observe_utilization(0.8)
+            mgr.observe_utilization(0.2)
+            for a in ADDRS:                             # invariant 7
+                assert mgr.read(a) == shadow[a]
+        elif op == "mode":
+            mgr.enter_read_mode()
+        elif op == "read":
+            try:
+                data = mgr.read(addr)
+            except UncorrectableError:
+                continue
+            assert tuple(data) == shadow[addr]          # invariant 4
+        check_inv3(mgr)                                 # invariant 3
+    # Whatever the schedule did, forcing spec recovers every block.
+    mgr.enter_write_mode()
+    for a in ADDRS:
+        assert mgr.read(a) == shadow[a]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(0.0, 10.0), min_size=1, max_size=30))
+def test_epoch_guard_rolls_by_high_water_mark(hours):
+    """Rolled-epoch count depends only on the high-water mark, not on
+    the arrival order of timestamps (regression property for the
+    non-monotonic-time fix)."""
+    g = EpochGuard(epoch_hours=1.0, threshold=10 ** 9)
+    for h in hours:
+        g.record_error(h * H)
+    expected = int(max(h * H for h in hours) / g.epoch_ns)
+    assert g.epochs_rolled == expected
+    g2 = EpochGuard(epoch_hours=1.0, threshold=10 ** 9)
+    for h in sorted(hours):
+        g2.record_error(h * H)
+    assert g2.epochs_rolled == g.epochs_rolled
