@@ -8,10 +8,20 @@
     python -m repro node --suite hpcg       # one node, four designs
     python -m repro hpc --nodes 256         # Figure 17-style system run
     python -m repro chaos --smoke           # fault-injection campaign
+    python -m repro fleet profile           # profile a fleet registry
     python -m repro suites                  # workload catalogue
 
 Each subcommand prints the same plain-text tables the benchmark
 targets save under ``benchmarks/results/``.
+
+Conventions shared by every subcommand:
+
+* ``--seed`` may be given globally (``repro --seed 7 hpc``) or after
+  the subcommand (``repro hpc --seed 7``); the subcommand-level value
+  wins, and both default to 2021.
+* Exit codes: 0 success, 1 domain failure (a campaign FAILed, nothing
+  could be profiled/placed), 2 I/O error (unreadable registry,
+  unwritable report).
 """
 
 from __future__ import annotations
@@ -23,10 +33,28 @@ from typing import List, Optional
 from .analysis.reporting import format_bar_chart, format_table
 from .analysis.stats import histogram, mean, stdev
 
+#: Default RNG seed when neither --seed position supplies one.
+DEFAULT_SEED = 2021
+
+#: The exit-code contract (see module docstring).
+EXIT_OK = 0
+EXIT_DOMAIN_FAILURE = 1
+EXIT_IO_ERROR = 2
+
+
+def _resolve_seed(args: argparse.Namespace) -> int:
+    """Subcommand ``--seed`` beats the global one; both optional."""
+    sub_seed = getattr(args, "sub_seed", None)
+    if sub_seed is not None:
+        return sub_seed
+    if args.seed is not None:
+        return args.seed
+    return DEFAULT_SEED
+
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
     from .characterization import ModulePopulation, measure_population
-    pop = ModulePopulation(seed=args.seed)
+    pop = ModulePopulation(seed=_resolve_seed(args))
     measured = measure_population(pop.modules)
     abc = [measured[m.module_id].margin_mts for m in pop.major_brands()]
     d = [measured[m.module_id].margin_mts for m in pop.by_brand("D")]
@@ -45,7 +73,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 def _cmd_montecarlo(args: argparse.Namespace) -> int:
     from .characterization import MarginMonteCarlo
-    mc = MarginMonteCarlo(seed=args.seed)
+    mc = MarginMonteCarlo(seed=_resolve_seed(args))
     rows = []
     for name, dist in (
             ("channel (aware)", mc.channel_margins(args.trials, True)),
@@ -79,7 +107,7 @@ def _cmd_node(args: argparse.Namespace) -> int:
         results[design] = simulate_node(NodeConfig(
             suite=args.suite, hierarchy=hierarchy, design=design,
             margin_mts=args.margin, memory_utilization=args.utilization,
-            refs_per_core=args.refs, seed=args.seed))
+            refs_per_core=args.refs, seed=_resolve_seed(args)))
     base = results["baseline"]
     rows = [[d, base.time_ns / r.time_ns, r.ipc, r.bus_utilization,
              r.write_share] for d, r in results.items()]
@@ -96,7 +124,7 @@ def _cmd_hpc(args: argparse.Namespace) -> int:
                       SystemSimulator, TraceConfig, generate_trace)
     jobs = generate_trace(TraceConfig(total_nodes=args.nodes,
                                       job_count=args.jobs,
-                                      seed=args.seed))
+                                      seed=_resolve_seed(args)))
     conv = SystemSimulator(Cluster(args.nodes), EasyBackfillScheduler(),
                            CONVENTIONAL_MODEL).run(jobs)
     hdmr = SystemSimulator(
@@ -120,7 +148,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     import dataclasses
     from .resilience import ChaosConfig, run_chaos_campaign
     base = ChaosConfig.smoke() if args.smoke else ChaosConfig()
-    config = dataclasses.replace(base, seed=args.seed)
+    config = dataclasses.replace(base, seed=_resolve_seed(args))
     report = run_chaos_campaign(config)
     text = report.render()
     if args.report_file:
@@ -133,6 +161,97 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             return 2   # distinct from exit 1 == campaign FAIL
     print(text, end="")
     return 0 if report.passed() else 1
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .fleet import (FleetConfig, FleetProfiler, MarginRegistry,
+                        PlacementService, RegistryError)
+    seed = _resolve_seed(args)
+
+    if args.fleet_command == "profile":
+        try:
+            registry = MarginRegistry(args.registry)
+        except (RegistryError, OSError) as exc:
+            print("repro fleet: cannot open registry: {}".format(exc),
+                  file=sys.stderr)
+            return EXIT_IO_ERROR
+        config = FleetConfig(nodes=args.nodes, seed=seed,
+                             guard_band_mts=args.guard_band,
+                             flaky_node_rate=args.flaky_rate,
+                             workers=args.workers)
+        try:
+            summary = FleetProfiler(config, registry).run()
+        except OSError as exc:
+            print("repro fleet: registry write failed: {}".format(exc),
+                  file=sys.stderr)
+            return EXIT_IO_ERROR
+        text = summary.render()
+        if args.report_file:
+            try:
+                with open(args.report_file, "w") as fh:
+                    fh.write(text)
+            except OSError as exc:
+                print("repro fleet: cannot write report: {}".format(exc),
+                      file=sys.stderr)
+                return EXIT_IO_ERROR
+        print(text, end="")
+        if registry.path is not None:
+            print("registry: {}".format(registry.snapshot_path))
+        return EXIT_OK if summary.succeeded else EXIT_DOMAIN_FAILURE
+
+    try:
+        registry = MarginRegistry(args.registry, create=False)
+    except (RegistryError, OSError) as exc:
+        print("repro fleet: cannot load registry: {}".format(exc),
+              file=sys.stderr)
+        return EXIT_IO_ERROR
+
+    if args.fleet_command == "status":
+        rows = [[rec.node,
+                 rec.margin_mts if rec.margin_mts is not None else "-",
+                 rec.effective_margin_mts, rec.margin_bucket,
+                 "retired" if rec.retired else
+                 ("demoted" if rec.demoted_margin_mts is not None
+                  else "ok"),
+                 rec.advisories]
+                for rec in registry.nodes()]
+        print(format_table(
+            ["node", "profiled", "effective", "bucket", "state",
+             "advisories"], rows,
+            title="fleet registry ({} nodes, seq {})".format(
+                len(registry), registry.last_seq)))
+        buckets = ", ".join("{}: {}".format(k, v) for k, v in
+                            registry.bucket_counts().items())
+        print("bucket counts: {}".format(buckets or "(empty)"))
+        return EXIT_OK if len(registry) else EXIT_DOMAIN_FAILURE
+
+    # place
+    try:
+        widths = [int(w) for w in args.widths.split(",") if w.strip()]
+    except ValueError:
+        print("repro fleet: --widths must be comma-separated integers",
+              file=sys.stderr)
+        return EXIT_DOMAIN_FAILURE
+    if not widths or any(w <= 0 for w in widths):
+        print("repro fleet: --widths must be positive integers",
+              file=sys.stderr)
+        return EXIT_DOMAIN_FAILURE
+    service = PlacementService(registry)
+    assignments = service.place(widths)
+    rows = []
+    for i, (width, assignment) in enumerate(zip(widths, assignments)):
+        if assignment is None:
+            rows.append([i, width, "-", "UNPLACED"])
+        else:
+            rows.append([i, width,
+                         ",".join(str(n) for n in assignment.nodes),
+                         assignment.margin_bucket])
+    print(format_table(["job", "nodes", "assigned", "bucket"], rows,
+                       title="fleet placement ({} jobs over {} nodes)"
+                       .format(len(widths), len(registry))))
+    placed = sum(1 for a in assignments if a is not None)
+    print("placed {}/{} jobs".format(placed, len(widths)))
+    return EXIT_OK if placed == len(widths) else EXIT_DOMAIN_FAILURE
 
 
 def _cmd_suites(args: argparse.Namespace) -> int:
@@ -152,18 +271,33 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of the ISCA'21 memory frequency "
                     "margin / Hetero-DMR paper")
-    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="global RNG seed (default {}); a "
+                             "subcommand-level --seed overrides it"
+                        .format(DEFAULT_SEED))
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("characterize",
+    # Every subcommand also takes --seed, so both `repro --seed 7 hpc`
+    # and `repro hpc --seed 7` work.  The subcommand's value lands in
+    # a separate dest because argparse would otherwise overwrite the
+    # already-parsed global value with the subparser default.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", dest="sub_seed", type=int,
+                        default=None,
+                        help="RNG seed (overrides the global --seed)")
+
+    sub.add_parser("characterize", parents=[common],
                    help="run the Section II margin characterization")
 
-    mc = sub.add_parser("montecarlo", help="Figure 11 margin Monte Carlo")
+    mc = sub.add_parser("montecarlo", parents=[common],
+                        help="Figure 11 margin Monte Carlo")
     mc.add_argument("--trials", type=int, default=20000)
 
-    sub.add_parser("settings", help="print the Table II settings")
+    sub.add_parser("settings", parents=[common],
+                   help="print the Table II settings")
 
-    node = sub.add_parser("node", help="simulate one node, four designs")
+    node = sub.add_parser("node", parents=[common],
+                          help="simulate one node, four designs")
     node.add_argument("--suite", default="linpack")
     node.add_argument("--hierarchy", default="Hierarchy1",
                       choices=("Hierarchy1", "Hierarchy2"))
@@ -171,19 +305,55 @@ def build_parser() -> argparse.ArgumentParser:
     node.add_argument("--utilization", type=float, default=0.2)
     node.add_argument("--refs", type=int, default=3000)
 
-    hpc = sub.add_parser("hpc", help="system-wide Slurm-style simulation")
+    hpc = sub.add_parser("hpc", parents=[common],
+                         help="system-wide Slurm-style simulation")
     hpc.add_argument("--nodes", type=int, default=256)
     hpc.add_argument("--jobs", type=int, default=3000)
 
     chaos = sub.add_parser(
-        "chaos", help="run the fault-injection chaos campaign and print "
-                      "the survivability report (exit 1 on FAIL)")
+        "chaos", parents=[common],
+        help="run the fault-injection chaos campaign and print "
+             "the survivability report (exit 1 on FAIL)")
     chaos.add_argument("--smoke", action="store_true",
                        help="short CI-sized campaign (~1 simulated hour)")
     chaos.add_argument("--report-file", default=None,
                        help="also write the report to this path")
 
-    sub.add_parser("suites", help="list the workload suites")
+    fleet = sub.add_parser(
+        "fleet", help="fleet margin registry: profile, status, place")
+    fsub = fleet.add_subparsers(dest="fleet_command", required=True)
+    profile = fsub.add_parser(
+        "profile", parents=[common],
+        help="profile a fleet into a registry (parallel, seeded)")
+    profile.add_argument("--nodes", type=int, default=64)
+    profile.add_argument("--registry", default=None,
+                         help="registry directory (in-memory when "
+                              "omitted)")
+    profile.add_argument("--workers", type=int, default=0,
+                         help="profiling worker processes (<=1 serial)")
+    profile.add_argument("--guard-band", type=int, default=0,
+                         help="guard band de-rating margins, MT/s")
+    profile.add_argument("--flaky-rate", type=float, default=0.0,
+                         help="fraction of nodes whose rig fails boots "
+                              "(exercises bounded retry)")
+    profile.add_argument("--report-file", default=None,
+                         help="also write the summary to this path")
+    status = fsub.add_parser(
+        "status", parents=[common],
+        help="print per-node registry state and bucket counts")
+    status.add_argument("--registry", required=True,
+                        help="existing registry directory")
+    place = fsub.add_parser(
+        "place", parents=[common],
+        help="answer a batched placement query from the registry")
+    place.add_argument("--registry", required=True,
+                       help="existing registry directory")
+    place.add_argument("--widths", default="8,4,4,2,1",
+                       help="comma-separated node counts, one job per "
+                            "entry")
+
+    sub.add_parser("suites", parents=[common],
+                   help="list the workload suites")
     return parser
 
 
@@ -194,6 +364,7 @@ _HANDLERS = {
     "node": _cmd_node,
     "hpc": _cmd_hpc,
     "chaos": _cmd_chaos,
+    "fleet": _cmd_fleet,
     "suites": _cmd_suites,
 }
 

@@ -21,6 +21,12 @@ from ..dram.timing import DATA_RATE_STEP_MTS
 #: The paper's evaluation buckets for node-level margins (MT/s).
 NODE_MARGIN_BUCKETS = (800, 600, 0)
 
+#: Section III-D2 node-group fractions under margin-aware selection
+#: (62% of nodes at 0.8 GT/s, 36% at 0.6 GT/s, 2% at spec).  The single
+#: source of truth: ``hpc.cluster`` builds synthetic fleets from it and
+#: ``sim.runner`` derives its headline margin weights from it.
+NODE_GROUP_FRACTIONS = {800: 0.62, 600: 0.36, 0: 0.02}
+
 
 def snap_to_step(margin_mts: float,
                  step: int = DATA_RATE_STEP_MTS) -> int:

@@ -1,0 +1,112 @@
+"""Ingestion hooks: degradation events flow *through* the registry.
+
+Before this subsystem, a :class:`~repro.resilience.degradation
+.DegradationController` mutated cluster nodes directly
+(``Cluster.demote_node``) and the knowledge evaporated with the
+process.  :class:`FleetIngest` inverts that: the controller's
+``on_rung_change`` hook records a demote/promote/retire event in the
+:class:`~repro.fleet.registry.MarginRegistry` first, and cluster state
+is derived from the registry — so placement, reporting, and the next
+boot all see the same history.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hpc.cluster import Cluster
+from .registry import MarginRegistry
+
+
+class FleetIngest:
+    """Bridge from per-node controllers to the fleet registry.
+
+    ``now_s`` is advanced by the caller (simulation clock); events are
+    stamped with it so registry contents stay deterministic.  When a
+    ``cluster`` is attached, every ingested event is also folded into
+    the matching :class:`~repro.hpc.cluster.ClusterNode` so in-flight
+    scheduling sees it immediately.
+    """
+
+    def __init__(self, registry: MarginRegistry,
+                 cluster: Optional[Cluster] = None):
+        self.registry = registry
+        self.cluster = cluster
+        self.now_s = 0.0
+
+    def rung_hook(self, node_index: int, controller=None):
+        """An ``on_rung_change`` callable for one node's controller.
+
+        Pass the :class:`DegradationController` itself (once built) via
+        ``controller`` — or assign ``hook.controller`` later — so the
+        hook can distinguish a retirement from an ordinary demotion to
+        specification.
+        """
+        ingest = self
+
+        class _Hook:
+            """Callable hook carrying a late-bound controller ref."""
+
+            def __init__(self):
+                self.controller = controller
+
+            def __call__(self, rung):
+                ingest.ingest_rung(node_index, rung, self.controller)
+
+        return _Hook()
+
+    def ingest_rung(self, node_index: int, rung,
+                    controller=None) -> None:
+        """Record one rung change as a registry event and (optionally)
+        fold it into the attached cluster.
+
+        A change to the node's current effective margin is recorded as
+        ``demote`` or ``promote`` by direction; a rung change while the
+        controller reports ``retired`` records a ``retire`` instead.
+        The initial hook call at controller construction (rung margin
+        equal to the node's effective margin) is a no-op.
+        """
+        rec = (self.registry.node(node_index)
+               if self.registry.has_node(node_index) else None)
+        retired = bool(getattr(controller, "retired", False))
+        if retired:
+            if rec is None or not rec.retired:
+                self.registry.record_retirement(
+                    node_index, time_s=self.now_s, reason=rung.name)
+        else:
+            previous = (rec.effective_margin_mts if rec is not None
+                        else None)
+            margin = int(rung.margin_mts)
+            if previous is not None and margin == previous:
+                return                        # no effective change
+            if previous is None or margin < previous:
+                self.registry.record_demotion(
+                    node_index, margin, time_s=self.now_s,
+                    reason=rung.name)
+            else:
+                self.registry.record_promotion(
+                    node_index, margin, time_s=self.now_s,
+                    reason=rung.name)
+        if self.cluster is not None:
+            self._apply_node(self.cluster, node_index)
+
+    def _apply_node(self, cluster: Cluster, node_index: int) -> None:
+        if not (0 <= node_index < len(cluster)):
+            return
+        rec = self.registry.node(node_index)
+        if rec.retired:
+            cluster.demote_node(node_index, 0)
+        elif rec.demoted_margin_mts is not None:
+            cluster.demote_node(node_index, rec.demoted_margin_mts)
+        else:
+            cluster.restore_node(node_index)
+
+    def apply_to_cluster(self, cluster: Optional[Cluster] = None
+                         ) -> None:
+        """Fold the whole registry into a cluster's operational state
+        (e.g. after loading a registry from disk at boot)."""
+        cluster = cluster if cluster is not None else self.cluster
+        if cluster is None:
+            raise ValueError("no cluster attached or given")
+        for rec in self.registry.nodes():
+            self._apply_node(cluster, rec.node)

@@ -1,0 +1,120 @@
+"""Batched placement queries over the fleet margin registry.
+
+:class:`PlacementService` is the query side of the fleet subsystem:
+the scheduler asks ``place(jobs)`` and gets node assignments computed
+by the paper's margin-aware policy over the registry's *effective*
+margins (profiled margin capped by demotions, zero for retired nodes).
+A TTL'd cache keeps the derived cluster view hot between queries and is
+invalidated the moment any registry event lands (sequence-number
+check), so a demotion ingested between two queries changes the second
+answer — the acceptance test for this PR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core.margin_selection import bucket_node_margin
+from ..hpc.cluster import ClusterNode
+from ..hpc.scheduler import (AllocationPolicy,
+                             MarginAwareAllocationPolicy)
+from .registry import MarginRegistry
+
+#: A placement request: a Job-like object, ``(job_id, node_count)``,
+#: or a bare node count (the job id is then its batch position).
+PlacementRequest = Union[object, Tuple[int, int], int]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One placed job: which nodes, and the margin class it runs in
+    (the bucket of the slowest allocated node, which is what the
+    performance model keys on)."""
+    job_id: int
+    nodes: Tuple[int, ...]
+    margin_bucket: int
+
+
+def _request_key(job: PlacementRequest, position: int) -> Tuple[int, int]:
+    """Normalize a request to ``(job_id, node_count)``."""
+    if hasattr(job, "nodes_requested"):
+        return int(getattr(job, "job_id", position)), \
+            int(job.nodes_requested)
+    if isinstance(job, tuple):
+        return int(job[0]), int(job[1])
+    return position, int(job)
+
+
+class PlacementService:
+    """Answer placement queries from registry state (see module doc).
+
+    ``cache_ttl_s`` bounds how long a derived margin-bucket view may
+    serve queries without re-deriving; any registry mutation (detected
+    via ``last_seq``) invalidates it immediately regardless of age.
+    """
+
+    def __init__(self, registry: MarginRegistry,
+                 policy: Optional[AllocationPolicy] = None,
+                 cache_ttl_s: float = 300.0):
+        if cache_ttl_s <= 0:
+            raise ValueError("cache_ttl_s must be positive")
+        self.registry = registry
+        self.policy = policy or MarginAwareAllocationPolicy()
+        self.cache_ttl_s = cache_ttl_s
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._cached_at_s = 0.0
+        self._cached_seq = -1
+        self._cached_nodes: List[ClusterNode] = []
+
+    def cluster_view(self, now_s: float = 0.0) -> List[ClusterNode]:
+        """Read-only :class:`ClusterNode` view of the fleet's effective
+        margins (cached; see class docstring for invalidation)."""
+        fresh = (self._cached_seq == self.registry.last_seq and
+                 0.0 <= now_s - self._cached_at_s < self.cache_ttl_s)
+        if fresh:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+            self._cached_nodes = [
+                ClusterNode(rec.node, rec.effective_margin_mts)
+                for rec in self.registry.nodes()]
+            self._cached_seq = self.registry.last_seq
+            self._cached_at_s = now_s
+        return list(self._cached_nodes)
+
+    def bucket_counts(self, now_s: float = 0.0) -> dict:
+        """Free-node count per margin bucket in the current view."""
+        counts: dict = {}
+        for node in self.cluster_view(now_s):
+            bucket = bucket_node_margin(node.effective_margin_mts)
+            counts[bucket] = counts.get(bucket, 0) + 1
+        return dict(sorted(counts.items(), reverse=True))
+
+    def place(self, jobs: Sequence[PlacementRequest],
+              now_s: float = 0.0) -> List[Optional[Assignment]]:
+        """Assign nodes to a batch of jobs, in order.
+
+        Each job takes its nodes out of the free pool for the rest of
+        the batch; a job the policy cannot satisfy yields ``None`` (it
+        would wait in queue) without blocking later, smaller jobs.
+        """
+        free = self.cluster_view(now_s)
+        out: List[Optional[Assignment]] = []
+        for position, job in enumerate(jobs):
+            job_id, count = _request_key(job, position)
+            if count <= 0:
+                raise ValueError("jobs need at least one node")
+            chosen = self.policy.select(free, count)
+            if chosen is None:
+                out.append(None)
+                continue
+            taken = set(id(n) for n in chosen)
+            free = [n for n in free if id(n) not in taken]
+            bucket = bucket_node_margin(
+                min(n.effective_margin_mts for n in chosen))
+            out.append(Assignment(job_id,
+                                  tuple(n.index for n in chosen),
+                                  bucket))
+        return out

@@ -1,0 +1,223 @@
+"""Parallel fleet profiling: fan :class:`NodeMarginProfiler` out.
+
+Profiling a node takes a stress-test pass per 200 MT/s step per module
+(Section II-A) — serially that is the bottleneck of bringing a fleet
+under margin management.  :class:`FleetProfiler` runs one bounded-retry
+profiling pass per node across a ``ProcessPoolExecutor`` and ingests
+the results into a :class:`~repro.fleet.registry.MarginRegistry`.
+
+Determinism contract: every node's hardware draw, rig seed, and flaky
+behaviour derive from ``(fleet_seed, node_index)`` through
+:func:`node_seed` (no ``hash()``, no wall clock), and results are
+ingested in node order regardless of worker completion order — so the
+same fleet seed produces a byte-identical registry snapshot whether
+profiling ran serially or on any number of workers.  CI profiles a
+64-node fleet twice and ``cmp``s the snapshots.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..analysis.reporting import format_kv
+from ..characterization.modules import ModulePopulation
+from ..characterization.testbench import TestMachine
+from ..core.profiling import NodeMarginProfiler
+from .registry import MarginRegistry
+
+#: Primes decorrelating per-node seeds from the fleet seed.
+_SEED_MULT = 1_000_003
+_SEED_STRIDE = 7919
+
+
+def node_seed(fleet_seed: int, node_index: int) -> int:
+    """Deterministic per-node seed (stable across processes/platforms,
+    unlike ``hash()`` which is salted per interpreter)."""
+    return (fleet_seed * _SEED_MULT + node_index * _SEED_STRIDE
+            + 17) % (2 ** 31 - 1)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One fleet-profiling campaign.
+
+    ``workers <= 1`` profiles serially; larger values fan out over a
+    process pool (falling back to serial where the platform cannot
+    spawn workers — the results are identical either way, see the
+    module docstring).  ``flaky_node_rate`` makes that fraction of
+    nodes' rigs raise boot failures for their first
+    ``flaky_fail_calls`` measurements, exercising the bounded-retry
+    path at fleet scale.
+    """
+    nodes: int = 64
+    channels_per_node: int = 2
+    modules_per_channel: int = 2
+    seed: int = 2021
+    guard_band_mts: int = 0
+    max_retries: int = 2
+    backoff_s: float = 60.0
+    flaky_node_rate: float = 0.0
+    flaky_fail_calls: int = 12
+    workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ValueError("nodes must be positive")
+        if self.channels_per_node <= 0 or self.modules_per_channel <= 0:
+            raise ValueError("node geometry must be positive")
+        if not 0.0 <= self.flaky_node_rate <= 1.0:
+            raise ValueError("flaky_node_rate must be in [0, 1]")
+
+
+def _profile_node(task: Tuple) -> Dict[str, object]:
+    """Worker body: profile one node (top-level so it pickles).
+
+    Builds the node's module complement by sampling the characterized
+    population with the node's own RNG, then runs one bounded-retry
+    profiling pass on a rig seeded the same way.
+    """
+    (fleet_seed, index, channels_per_node, modules_per_channel,
+     guard_band, max_retries, backoff_s, flaky_rate, flaky_calls) = task
+    seed = node_seed(fleet_seed, index)
+    rng = random.Random(seed)
+    population = ModulePopulation(seed=fleet_seed)
+    need = channels_per_node * modules_per_channel
+    picked = rng.sample(population.major_brands(), need)
+    channels = [picked[c * modules_per_channel:
+                       (c + 1) * modules_per_channel]
+                for c in range(channels_per_node)]
+    if rng.random() < flaky_rate:
+        from ..resilience.campaign import FlakyTestMachine
+        machine: TestMachine = FlakyTestMachine(fail_calls=flaky_calls,
+                                                seed=seed)
+    else:
+        machine = TestMachine(seed=seed)
+    profiler = NodeMarginProfiler(machine, guard_band_mts=guard_band)
+    outcome = profiler.profile_with_retry(
+        channels, now_s=0.0, max_retries=max_retries,
+        backoff_s=backoff_s)
+    result: Dict[str, object] = {"node": index,
+                                 "ok": outcome.succeeded,
+                                 "attempts": outcome.attempts,
+                                 "elapsed_s": outcome.elapsed_s}
+    if outcome.succeeded:
+        result["margin_mts"] = outcome.profile.node_margin_mts
+        result["channel_margins"] = list(outcome.profile.channel_margins)
+    return result
+
+
+@dataclass
+class FleetProfileSummary:
+    """Progress/failure accounting for one profiling campaign."""
+    nodes: int
+    profiled: int
+    failed: int
+    attempts: int
+    profiling_s: float                 # summed per-node stress time
+    bucket_counts: Dict[int, int] = field(default_factory=dict)
+    failed_nodes: Tuple[int, ...] = ()
+    workers_used: int = 1
+
+    @property
+    def succeeded(self) -> bool:
+        """Did at least one node come under margin management?"""
+        return self.profiled > 0
+
+    def render(self) -> str:
+        """Deterministic plain-text summary (CLI + CI artifact)."""
+        pairs = [["nodes", self.nodes],
+                 ["profiled", self.profiled],
+                 ["failed", self.failed],
+                 ["attempts", self.attempts],
+                 ["profiling node-seconds", self.profiling_s],
+                 ["workers", self.workers_used]]
+        for bucket, count in sorted(self.bucket_counts.items(),
+                                    reverse=True):
+            pairs.append(["nodes at {} MT/s".format(bucket), count])
+        if self.failed_nodes:
+            pairs.append(["failed nodes",
+                          ",".join(str(n) for n in self.failed_nodes)])
+        return format_kv("fleet profiling summary", pairs) + "\n"
+
+
+class FleetProfiler:
+    """Profile a whole fleet into a registry (see module docstring)."""
+
+    def __init__(self, config: FleetConfig, registry: MarginRegistry):
+        self.config = config
+        self.registry = registry
+
+    def _tasks(self) -> List[Tuple]:
+        cfg = self.config
+        return [(cfg.seed, i, cfg.channels_per_node,
+                 cfg.modules_per_channel, cfg.guard_band_mts,
+                 cfg.max_retries, cfg.backoff_s, cfg.flaky_node_rate,
+                 cfg.flaky_fail_calls) for i in range(cfg.nodes)]
+
+    def _execute(self, tasks: List[Tuple],
+                 progress: Optional[Callable[[int, int], None]]
+                 ) -> Tuple[List[Dict[str, object]], int]:
+        """Run the workers; returns (results, workers actually used)."""
+        workers = self.config.workers
+        if workers > 1:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+                results: List[Dict[str, object]] = []
+                chunk = max(1, len(tasks) // (workers * 4))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    for result in pool.map(_profile_node, tasks,
+                                           chunksize=chunk):
+                        results.append(result)
+                        if progress is not None:
+                            progress(len(results), len(tasks))
+                return results, workers
+            except (OSError, PermissionError):
+                pass        # sandboxed platform: fall back to serial
+        results = []
+        for task in tasks:
+            results.append(_profile_node(task))
+            if progress is not None:
+                progress(len(results), len(tasks))
+        return results, 1
+
+    def run(self, now_s: float = 0.0,
+            progress: Optional[Callable[[int, int], None]] = None
+            ) -> FleetProfileSummary:
+        """Profile every node, ingest results in node order, snapshot.
+
+        ``progress(done, total)`` is called after each node completes
+        (in completion order); registry ingestion happens afterwards in
+        node order, preserving the determinism contract.
+        """
+        results, workers_used = self._execute(self._tasks(), progress)
+        results.sort(key=lambda r: r["node"])
+        attempts = 0
+        profiling_s = 0.0
+        failed_nodes: List[int] = []
+        for result in results:
+            attempts += result["attempts"]
+            profiling_s += result["elapsed_s"]
+            if result["ok"]:
+                self.registry.record_profile(
+                    result["node"], result["margin_mts"], time_s=now_s,
+                    channel_margins=result["channel_margins"],
+                    attempts=result["attempts"])
+            else:
+                failed_nodes.append(result["node"])
+                self.registry.record_advisory(
+                    result["node"], time_s=now_s,
+                    reason="profiling failed after {} attempts"
+                           .format(result["attempts"]))
+        if self.registry.path is not None:
+            self.registry.write_snapshot()
+        return FleetProfileSummary(
+            nodes=len(results),
+            profiled=len(results) - len(failed_nodes),
+            failed=len(failed_nodes),
+            attempts=attempts,
+            profiling_s=profiling_s,
+            bucket_counts=self.registry.bucket_counts(),
+            failed_nodes=tuple(failed_nodes),
+            workers_used=workers_used)

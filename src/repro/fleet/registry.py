@@ -1,0 +1,364 @@
+"""Fleet margin registry: the persistent source of truth for margins.
+
+Exploiting frequency margin safely at fleet scale is a bookkeeping
+problem (AL-DRAM made the same observation for timing margins): someone
+must profile every node, remember the results, and keep them current as
+modules age, heat up, and get demoted.  :class:`MarginRegistry` is that
+memory — an append-only JSONL event log plus a periodically compacted
+snapshot, replayable into per-node :class:`NodeRecord` state that the
+scheduler, simulator, and resilience ladder all consume instead of
+ad-hoc margin lists.
+
+Event kinds (the full schema is documented in DESIGN.md §8):
+
+``profile``
+    A completed :class:`~repro.core.profiling.NodeMarginProfiler` pass;
+    payload carries the node margin, per-channel margins, and attempt
+    count.  A fresh profile clears any operational demotion.
+``demote`` / ``promote``
+    Degradation-ladder rung changes (operational caps below the
+    profiled margin); a promotion back to the profiled margin clears
+    the cap.
+``retire``
+    The node is permanently out of margin exploitation (out of healthy
+    modules); its effective margin is 0 from then on, regardless of
+    later events.
+``thermal``
+    An advisory (e.g. a profiling pass aborted by boot failures during
+    a thermal excursion); it does not change the effective margin but
+    is counted per node.
+
+Durability contract: events are appended one canonical-JSON line at a
+time; snapshots are written atomically (temp file + ``os.replace``) so
+a crash can at worst lose the tail of the event log, never corrupt a
+snapshot.  A partially-written *final* event line is tolerated and
+dropped at load time; corruption anywhere else raises
+:class:`RegistryError`.  Canonical serialization (sorted keys, fixed
+separators) makes snapshots byte-comparable: the same fleet seed
+produces byte-identical snapshot files, which CI asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.margin_selection import bucket_node_margin
+
+#: Allowed event kinds, in documentation order.
+EVENT_KINDS = ("profile", "demote", "promote", "retire", "thermal")
+
+#: Snapshot schema version (bumped on incompatible changes).
+SNAPSHOT_FORMAT = 1
+
+EVENTS_FILE = "events.jsonl"
+SNAPSHOT_FILE = "snapshot.json"
+
+
+class RegistryError(Exception):
+    """The registry is missing, corrupt, or was used incorrectly."""
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class RegistryEvent:
+    """One append-only log entry (see module docstring for kinds)."""
+    seq: int
+    time_s: float
+    node: int
+    kind: str
+    payload: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """One canonical JSONL line."""
+        return canonical_json({"seq": self.seq, "time_s": self.time_s,
+                               "node": self.node, "kind": self.kind,
+                               "payload": self.payload})
+
+    @classmethod
+    def from_json(cls, line: str) -> "RegistryEvent":
+        """Parse one log line (raises ``ValueError`` on bad JSON)."""
+        raw = json.loads(line)
+        return cls(seq=int(raw["seq"]), time_s=float(raw["time_s"]),
+                   node=int(raw["node"]), kind=str(raw["kind"]),
+                   payload=dict(raw.get("payload", {})))
+
+
+@dataclass
+class NodeRecord:
+    """Replayed per-node state: what the fleet knows about one node."""
+    node: int
+    margin_mts: Optional[int] = None       # last profiled margin
+    channel_margins: Tuple[int, ...] = ()
+    profiled_at_s: Optional[float] = None
+    demoted_margin_mts: Optional[int] = None
+    retired: bool = False
+    advisories: int = 0
+    last_seq: int = 0
+
+    @property
+    def effective_margin_mts(self) -> int:
+        """The margin placement may rely on right now: 0 for retired or
+        never-profiled nodes, else the profiled margin capped by any
+        operational demotion."""
+        if self.retired or self.margin_mts is None:
+            return 0
+        if self.demoted_margin_mts is None:
+            return self.margin_mts
+        return min(self.margin_mts, self.demoted_margin_mts)
+
+    @property
+    def margin_bucket(self) -> int:
+        return bucket_node_margin(self.effective_margin_mts)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Snapshot representation (canonical-JSON friendly)."""
+        return {"node": self.node, "margin_mts": self.margin_mts,
+                "channel_margins": list(self.channel_margins),
+                "profiled_at_s": self.profiled_at_s,
+                "demoted_margin_mts": self.demoted_margin_mts,
+                "retired": self.retired, "advisories": self.advisories,
+                "last_seq": self.last_seq}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "NodeRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(node=int(raw["node"]),
+                   margin_mts=raw["margin_mts"],
+                   channel_margins=tuple(raw.get("channel_margins", ())),
+                   profiled_at_s=raw["profiled_at_s"],
+                   demoted_margin_mts=raw["demoted_margin_mts"],
+                   retired=bool(raw["retired"]),
+                   advisories=int(raw.get("advisories", 0)),
+                   last_seq=int(raw.get("last_seq", 0)))
+
+
+class MarginRegistry:
+    """Append-only event log + snapshot of fleet margin knowledge.
+
+    ``path`` is a directory holding ``events.jsonl`` and
+    ``snapshot.json``; ``None`` keeps the registry in memory only
+    (tests, examples).  With ``create=False`` the directory must
+    already contain a registry (the CLI's read-only subcommands use
+    this so a typo'd path errors instead of silently creating an empty
+    fleet).
+    """
+
+    def __init__(self, path: Optional[object] = None,
+                 create: bool = True):
+        self.path = Path(path) if path is not None else None
+        self.last_seq = 0
+        self._records: Dict[int, NodeRecord] = {}
+        if self.path is not None:
+            if create:
+                self.path.mkdir(parents=True, exist_ok=True)
+            elif not (self.snapshot_path.is_file() or
+                      self.events_path.is_file()):
+                raise RegistryError(
+                    "no registry at {}".format(self.path))
+            self._load()
+
+    # -- paths --------------------------------------------------------------------
+
+    @property
+    def events_path(self) -> Path:
+        """The append-only JSONL event log."""
+        return self.path / EVENTS_FILE
+
+    @property
+    def snapshot_path(self) -> Path:
+        """The atomically-replaced snapshot file."""
+        return self.path / SNAPSHOT_FILE
+
+    # -- load / replay ------------------------------------------------------------
+
+    def _load(self) -> None:
+        if self.snapshot_path.is_file():
+            try:
+                raw = json.loads(self.snapshot_path.read_text())
+            except ValueError as exc:
+                raise RegistryError("corrupt snapshot {}: {}".format(
+                    self.snapshot_path, exc))
+            if raw.get("format") != SNAPSHOT_FORMAT:
+                raise RegistryError("unsupported snapshot format {!r}"
+                                    .format(raw.get("format")))
+            self.last_seq = int(raw["last_seq"])
+            self._records = {int(r["node"]): NodeRecord.from_dict(r)
+                             for r in raw["nodes"]}
+        if not self.events_path.is_file():
+            return
+        lines = self.events_path.read_text().splitlines()
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                event = RegistryEvent.from_json(line)
+            except (ValueError, KeyError) as exc:
+                if i == len(lines) - 1:
+                    # A crash mid-append can truncate the final line;
+                    # everything before it is intact.
+                    break
+                raise RegistryError(
+                    "corrupt event at line {}: {}".format(i + 1, exc))
+            if event.seq <= self.last_seq:
+                continue          # already folded into the snapshot
+            if event.seq != self.last_seq + 1:
+                raise RegistryError(
+                    "sequence gap: expected {}, got {}".format(
+                        self.last_seq + 1, event.seq))
+            self._apply(event)
+            self.last_seq = event.seq
+
+    # -- recording ----------------------------------------------------------------
+
+    def record(self, kind: str, node: int, time_s: float = 0.0,
+               **payload: object) -> RegistryEvent:
+        """Append one event, apply it to the replayed state, and
+        persist it (when the registry is file-backed)."""
+        if kind not in EVENT_KINDS:
+            raise ValueError("unknown event kind {!r}".format(kind))
+        if node < 0:
+            raise ValueError("node index must be non-negative")
+        event = RegistryEvent(seq=self.last_seq + 1,
+                              time_s=float(time_s), node=int(node),
+                              kind=kind, payload=dict(payload))
+        self._apply(event)
+        self.last_seq = event.seq
+        if self.path is not None:
+            with open(self.events_path, "a") as fh:
+                fh.write(event.to_json() + "\n")
+                fh.flush()
+        return event
+
+    def record_profile(self, node: int, margin_mts: int,
+                       time_s: float = 0.0,
+                       channel_margins: Sequence[int] = (),
+                       attempts: int = 1) -> RegistryEvent:
+        """A completed profiling pass (clears operational demotions)."""
+        return self.record("profile", node, time_s,
+                           margin_mts=int(margin_mts),
+                           channel_margins=[int(m) for m in
+                                            channel_margins],
+                           attempts=int(attempts))
+
+    def record_demotion(self, node: int, margin_mts: int,
+                        time_s: float = 0.0,
+                        reason: str = "") -> RegistryEvent:
+        """A degradation-ladder demotion to an operational cap."""
+        return self.record("demote", node, time_s,
+                           margin_mts=int(margin_mts), reason=reason)
+
+    def record_promotion(self, node: int, margin_mts: int,
+                         time_s: float = 0.0,
+                         reason: str = "") -> RegistryEvent:
+        """A re-promotion rung change (cap raised or cleared)."""
+        return self.record("promote", node, time_s,
+                           margin_mts=int(margin_mts), reason=reason)
+
+    def record_retirement(self, node: int, time_s: float = 0.0,
+                          reason: str = "") -> RegistryEvent:
+        """Permanent retirement from margin exploitation."""
+        return self.record("retire", node, time_s, reason=reason)
+
+    def record_advisory(self, node: int, time_s: float = 0.0,
+                        reason: str = "") -> RegistryEvent:
+        """A thermal/profiling advisory (no margin change)."""
+        return self.record("thermal", node, time_s, reason=reason)
+
+    def _apply(self, event: RegistryEvent) -> None:
+        rec = self._records.setdefault(event.node,
+                                       NodeRecord(event.node))
+        payload = event.payload
+        if event.kind == "profile":
+            rec.margin_mts = int(payload["margin_mts"])
+            rec.channel_margins = tuple(
+                int(m) for m in payload.get("channel_margins", ()))
+            rec.profiled_at_s = event.time_s
+            rec.demoted_margin_mts = None
+        elif event.kind in ("demote", "promote"):
+            margin = int(payload["margin_mts"])
+            base = rec.margin_mts if rec.margin_mts is not None else 0
+            rec.demoted_margin_mts = None if margin >= base else margin
+        elif event.kind == "retire":
+            rec.retired = True
+        elif event.kind == "thermal":
+            rec.advisories += 1
+        rec.last_seq = event.seq
+
+    # -- queries ------------------------------------------------------------------
+
+    def node(self, index: int) -> NodeRecord:
+        """The replayed record for one node (KeyError if unknown)."""
+        return self._records[index]
+
+    def has_node(self, index: int) -> bool:
+        """Has any event ever mentioned this node?"""
+        return index in self._records
+
+    def nodes(self) -> List[NodeRecord]:
+        """All node records, ordered by node index."""
+        return [self._records[i] for i in sorted(self._records)]
+
+    def effective_margins(self) -> List[int]:
+        """Effective margins ordered by node index (placement input)."""
+        return [rec.effective_margin_mts for rec in self.nodes()]
+
+    def bucket_counts(self) -> Dict[int, int]:
+        """Node count per effective-margin bucket, fastest first."""
+        counts: Dict[int, int] = {}
+        for rec in self.nodes():
+            counts[rec.margin_bucket] = counts.get(rec.margin_bucket,
+                                                   0) + 1
+        return dict(sorted(counts.items(), reverse=True))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- snapshot / compaction ----------------------------------------------------
+
+    def snapshot_bytes(self) -> bytes:
+        """Canonical snapshot serialization (byte-comparable)."""
+        doc = {"format": SNAPSHOT_FORMAT, "last_seq": self.last_seq,
+               "nodes": [rec.to_dict() for rec in self.nodes()]}
+        return (canonical_json(doc) + "\n").encode("ascii")
+
+    def write_snapshot(self) -> Path:
+        """Atomically persist the snapshot: write a temp file in the
+        registry directory, fsync, then ``os.replace`` over the old
+        snapshot so readers never observe a torn file."""
+        if self.path is None:
+            raise RegistryError("in-memory registry has no snapshot "
+                                "file; use snapshot_bytes()")
+        tmp = self.snapshot_path.with_suffix(".json.tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(self.snapshot_bytes())
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.snapshot_path)
+        return self.snapshot_path
+
+    def compact(self) -> int:
+        """Fold the event log into the snapshot and truncate it.
+
+        Returns the number of log lines dropped.  Compaction is itself
+        crash-safe: the snapshot lands atomically first, and a crash
+        before the log truncation only leaves events the next load
+        recognizes as already folded (``seq <= snapshot.last_seq``).
+        """
+        self.write_snapshot()
+        dropped = 0
+        if self.events_path.is_file():
+            dropped = sum(
+                1 for line in self.events_path.read_text().splitlines()
+                if line.strip())
+            tmp = self.events_path.with_suffix(".jsonl.tmp")
+            tmp.write_text("")
+            os.replace(tmp, self.events_path)
+        return dropped

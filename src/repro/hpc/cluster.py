@@ -11,10 +11,14 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..core.margin_selection import NODE_MARGIN_BUCKETS, bucket_node_margin
+from ..core.margin_selection import (NODE_GROUP_FRACTIONS,
+                                     NODE_MARGIN_BUCKETS,
+                                     bucket_node_margin)
 
-#: The paper's node-group fractions under margin-aware selection.
-DEFAULT_GROUP_FRACTIONS = {800: 0.62, 600: 0.36, 0: 0.02}
+#: The paper's node-group fractions under margin-aware selection
+#: (canonically defined in ``core.margin_selection``; re-exported here
+#: for backwards compatibility).
+DEFAULT_GROUP_FRACTIONS = NODE_GROUP_FRACTIONS
 
 
 @dataclass
@@ -58,6 +62,44 @@ class Cluster:
         margins = margins[:total_nodes]
         rng.shuffle(margins)
         self.nodes = [ClusterNode(i, m) for i, m in enumerate(margins)]
+
+    @classmethod
+    def from_margins(cls, margins: Sequence[int]) -> "Cluster":
+        """A cluster with explicitly assigned per-node margins, in
+        node-index order (no synthetic group-fraction draw)."""
+        margins = list(margins)
+        if not margins:
+            raise ValueError("need at least one node margin")
+        cluster = cls.__new__(cls)
+        cluster.nodes = [ClusterNode(i, int(m))
+                         for i, m in enumerate(margins)]
+        return cluster
+
+    @classmethod
+    def from_registry(cls, registry) -> "Cluster":
+        """Build the cluster from a fleet :class:`MarginRegistry`
+        (``repro.fleet``) — the preferred constructor for operational
+        use, replacing ad-hoc margin lists.
+
+        Profiled margins become node margins; registry demotions carry
+        over as operational caps (so later registry events and direct
+        ``demote_node``/``restore_node`` calls compose); retired and
+        never-profiled nodes run at specification.
+        """
+        records = registry.nodes()
+        if not records:
+            raise ValueError("registry has no nodes; profile the "
+                             "fleet first")
+        cluster = cls.__new__(cls)
+        cluster.nodes = []
+        for rec in records:
+            if rec.retired or rec.margin_mts is None:
+                cluster.nodes.append(ClusterNode(rec.node, 0))
+                continue
+            node = ClusterNode(rec.node, rec.margin_mts)
+            node.demoted_margin_mts = rec.demoted_margin_mts
+            cluster.nodes.append(node)
+        return cluster
 
     def __len__(self) -> int:
         return len(self.nodes)

@@ -13,6 +13,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..core.margin_selection import bucket_node_margin
 from .cluster import Cluster, ClusterNode
 from .job import Job
 from .scheduler import AllocationPolicy, EasyBackfillScheduler
@@ -35,12 +36,16 @@ class PerformanceModel:
     })
 
     def speedup(self, margin_mts: int, utilization: float) -> float:
+        """Speedup for a node margin and job utilization; the margin is
+        snapped into the model's buckets through the same
+        ``bucket_node_margin`` the profiler and scheduler use (one
+        bucketing rule, not three)."""
         bucket = memory_bucket(utilization)
-        margins = sorted(self.speedups, reverse=True)
-        for m in margins:
-            if margin_mts >= m:
-                return self.speedups[m].get(bucket, 1.0)
-        return 1.0
+        snapped = bucket_node_margin(margin_mts, tuple(self.speedups))
+        table = self.speedups.get(snapped)
+        if table is None:
+            return 1.0
+        return table.get(bucket, 1.0)
 
 
 CONVENTIONAL_MODEL = PerformanceModel(speedups={0: {

@@ -23,14 +23,18 @@ from typing import Dict, List, Optional, Tuple
 
 from ..analysis.stats import suite_average, weighted_mean
 from ..cache.hierarchy import HIERARCHIES, HierarchyConfig
+from ..core.margin_selection import NODE_GROUP_FRACTIONS
 from ..dram.timing import TABLE2_SETTINGS, TimingParameters
 from ..hpc.traces import MEMORY_BUCKET_FRACTIONS
 from ..workloads.registry import suite_names
 from .node import NodeConfig, NodeResult, simulate_node
 
-#: Node-margin weights from Section III-D2 (62% of nodes at 0.8 GT/s,
-#: 36% at 0.6 GT/s), renormalized over margin-bearing nodes.
-MARGIN_WEIGHTS = {800: 0.62, 600: 0.36}
+#: Node-margin weights for the headline numbers: the Section III-D2
+#: group fractions restricted to margin-bearing nodes.  Derived from
+#: ``core.margin_selection.NODE_GROUP_FRACTIONS`` so the 62/36 split
+#: lives in exactly one place (shared with ``hpc.cluster``).
+MARGIN_WEIGHTS = {margin: fraction for margin, fraction
+                  in NODE_GROUP_FRACTIONS.items() if margin > 0}
 
 #: Figure 1 usage-bucket weights used for the "[0~100%]" bars.
 USAGE_WEIGHTS = {

@@ -63,3 +63,95 @@ def test_chaos_smoke_command(capsys, tmp_path):
     assert "verdict" in out and "PASS" in out
     assert "Degradation ladder" in out
     assert report.read_text() == out
+
+
+def test_seed_accepted_after_subcommand(capsys):
+    """Shared --seed handling: global and subcommand positions agree."""
+    assert main(["montecarlo", "--seed", "11", "--trials", "2000"]) == 0
+    after = capsys.readouterr().out
+    assert main(["--seed", "11", "montecarlo", "--trials", "2000"]) == 0
+    before = capsys.readouterr().out
+    assert after == before
+
+
+def test_subcommand_seed_overrides_global(capsys, tmp_path):
+    assert main(["--seed", "1", "fleet", "profile", "--seed", "2",
+                 "--nodes", "6",
+                 "--registry", str(tmp_path / "a")]) == 0
+    assert main(["--seed", "2", "fleet", "profile", "--nodes", "6",
+                 "--registry", str(tmp_path / "b")]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "a" / "snapshot.json").read_bytes() == \
+        (tmp_path / "b" / "snapshot.json").read_bytes()
+
+
+def test_fleet_profile_is_deterministic(capsys, tmp_path):
+    argv = ["fleet", "profile", "--nodes", "12", "--registry"]
+    assert main(argv + [str(tmp_path / "a")]) == 0
+    assert main(argv + [str(tmp_path / "b")]) == 0
+    out = capsys.readouterr().out
+    assert "fleet profiling summary" in out
+    assert (tmp_path / "a" / "snapshot.json").read_bytes() == \
+        (tmp_path / "b" / "snapshot.json").read_bytes()
+
+
+def test_fleet_profile_report_file(capsys, tmp_path):
+    report = tmp_path / "fleet.txt"
+    assert main(["fleet", "profile", "--nodes", "6",
+                 "--registry", str(tmp_path / "reg"),
+                 "--report-file", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert report.read_text() in out
+
+
+def test_fleet_profile_unwritable_report_is_io_error(capsys, tmp_path):
+    assert main(["fleet", "profile", "--nodes", "4",
+                 "--registry", str(tmp_path / "reg"),
+                 "--report-file", str(tmp_path / "nodir" / "r.txt")]) \
+        == 2
+    assert "cannot write report" in capsys.readouterr().err
+
+
+def test_fleet_status_command(capsys, tmp_path):
+    reg = tmp_path / "reg"
+    assert main(["fleet", "profile", "--nodes", "8",
+                 "--registry", str(reg)]) == 0
+    capsys.readouterr()
+    assert main(["fleet", "status", "--registry", str(reg)]) == 0
+    out = capsys.readouterr().out
+    assert "fleet registry (8 nodes" in out
+    assert "bucket counts:" in out
+
+
+def test_fleet_place_command(capsys, tmp_path):
+    reg = tmp_path / "reg"
+    assert main(["fleet", "profile", "--nodes", "8",
+                 "--registry", str(reg)]) == 0
+    capsys.readouterr()
+    assert main(["fleet", "place", "--registry", str(reg),
+                 "--widths", "4,2"]) == 0
+    out = capsys.readouterr().out
+    assert "placed 2/2 jobs" in out
+
+
+def test_fleet_place_unplaceable_is_domain_failure(capsys, tmp_path):
+    reg = tmp_path / "reg"
+    assert main(["fleet", "profile", "--nodes", "4",
+                 "--registry", str(reg)]) == 0
+    capsys.readouterr()
+    assert main(["fleet", "place", "--registry", str(reg),
+                 "--widths", "99"]) == 1
+    assert "UNPLACED" in capsys.readouterr().out
+    assert main(["fleet", "place", "--registry", str(reg),
+                 "--widths", "nope"]) == 1
+
+
+def test_fleet_missing_registry_is_io_error(capsys, tmp_path):
+    assert main(["fleet", "status",
+                 "--registry", str(tmp_path / "missing")]) == 2
+    assert "cannot load registry" in capsys.readouterr().err
+
+
+def test_fleet_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main(["fleet"])

@@ -41,10 +41,11 @@ def test_examples_listed_in_readme_exist():
 def test_public_modules_have_docstrings():
     import importlib
     for name in ("repro", "repro.core", "repro.dram", "repro.ecc",
-                 "repro.errors", "repro.hpc", "repro.sim",
-                 "repro.workloads", "repro.characterization",
-                 "repro.cache", "repro.mem_ctrl", "repro.cpu",
-                 "repro.energy", "repro.analysis"):
+                 "repro.errors", "repro.fleet", "repro.hpc",
+                 "repro.sim", "repro.workloads",
+                 "repro.characterization", "repro.cache",
+                 "repro.mem_ctrl", "repro.cpu", "repro.energy",
+                 "repro.analysis"):
         mod = importlib.import_module(name)
         assert mod.__doc__, name
 
@@ -54,8 +55,9 @@ def test_public_classes_documented():
     docstring (deliverable e: doc comments on every public item)."""
     import importlib
     import inspect
-    for pkg_name in ("repro.core", "repro.ecc", "repro.hpc",
-                     "repro.errors", "repro.sim", "repro.dram"):
+    for pkg_name in ("repro.core", "repro.ecc", "repro.fleet",
+                     "repro.hpc", "repro.errors", "repro.sim",
+                     "repro.dram"):
         pkg = importlib.import_module(pkg_name)
         for name in getattr(pkg, "__all__", []):
             obj = getattr(pkg, name)

@@ -48,6 +48,14 @@ def test_margin_sweep_small():
     assert "speedup vs margin" in r.stdout
 
 
+def test_fleet_service_small():
+    r = _run(f"{EXAMPLES}/fleet_service.py", "12", "0")
+    assert r.returncode == 0, r.stderr
+    assert "fleet profiling summary" in r.stdout
+    assert "placement after demotion" in r.stdout
+    assert "reloaded registry" in r.stdout
+
+
 def test_node_speedup_rejects_unknown_suite():
     r = _run(f"{EXAMPLES}/node_speedup.py", "spec2017")
     assert r.returncode != 0

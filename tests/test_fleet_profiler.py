@@ -1,0 +1,111 @@
+"""Tests for parallel fleet profiling: determinism, failure
+accounting, and the ingest into the registry."""
+
+import pytest
+
+from repro.fleet import (FleetConfig, FleetProfiler, MarginRegistry,
+                        node_seed)
+
+
+def _run(tmp_path=None, name="fleet", **overrides):
+    path = None if tmp_path is None else tmp_path / name
+    registry = MarginRegistry(path)
+    config = FleetConfig(**dict({"nodes": 12, "workers": 0},
+                                **overrides))
+    summary = FleetProfiler(config, registry).run()
+    return registry, summary
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FleetConfig(nodes=0)
+    with pytest.raises(ValueError):
+        FleetConfig(flaky_node_rate=1.5)
+    with pytest.raises(ValueError):
+        FleetConfig(modules_per_channel=0)
+
+
+def test_node_seed_is_stable_and_distinct():
+    seeds = [node_seed(2021, i) for i in range(100)]
+    assert len(set(seeds)) == 100
+    assert seeds == [node_seed(2021, i) for i in range(100)]
+    assert node_seed(2021, 0) != node_seed(2022, 0)
+
+
+def test_every_node_gets_an_event():
+    registry, summary = _run()
+    assert len(registry) == 12
+    assert summary.nodes == 12
+    assert summary.profiled + summary.failed == 12
+    assert registry.last_seq == 12
+
+
+def test_same_seed_same_snapshot_bytes():
+    reg_a, _ = _run()
+    reg_b, _ = _run()
+    assert reg_a.snapshot_bytes() == reg_b.snapshot_bytes()
+
+
+def test_different_seed_different_snapshot():
+    reg_a, _ = _run(seed=1)
+    reg_b, _ = _run(seed=2)
+    assert reg_a.snapshot_bytes() != reg_b.snapshot_bytes()
+
+
+def test_parallel_matches_serial_byte_for_byte():
+    reg_serial, _ = _run(nodes=16, workers=0)
+    reg_parallel, summary = _run(nodes=16, workers=3)
+    assert reg_serial.snapshot_bytes() == reg_parallel.snapshot_bytes()
+    assert summary.nodes == 16
+
+
+def test_file_backed_run_writes_snapshot(tmp_path):
+    registry, _ = _run(tmp_path)
+    assert registry.snapshot_path.is_file()
+    reloaded = MarginRegistry(tmp_path / "fleet")
+    assert reloaded.snapshot_bytes() == registry.snapshot_bytes()
+
+
+def test_flaky_nodes_fail_and_become_advisories():
+    registry, summary = _run(nodes=20, flaky_node_rate=0.3)
+    assert summary.failed > 0
+    assert summary.failed_nodes
+    for node in summary.failed_nodes:
+        rec = registry.node(node)
+        assert rec.margin_mts is None
+        assert rec.effective_margin_mts == 0
+        assert rec.advisories == 1
+    # Failures burned bounded retries: more attempts than nodes.
+    assert summary.attempts > summary.nodes
+    assert summary.succeeded
+
+
+def test_flaky_run_is_still_deterministic():
+    reg_a, sum_a = _run(nodes=20, flaky_node_rate=0.3)
+    reg_b, sum_b = _run(nodes=20, flaky_node_rate=0.3)
+    assert reg_a.snapshot_bytes() == reg_b.snapshot_bytes()
+    assert sum_a.failed_nodes == sum_b.failed_nodes
+
+
+def test_progress_callback_sees_every_node():
+    calls = []
+    registry = MarginRegistry()
+    FleetProfiler(FleetConfig(nodes=6, workers=0), registry).run(
+        progress=lambda done, total: calls.append((done, total)))
+    assert calls == [(i, 6) for i in range(1, 7)]
+
+
+def test_summary_render_is_deterministic():
+    _, sum_a = _run(nodes=8, flaky_node_rate=0.2)
+    _, sum_b = _run(nodes=8, flaky_node_rate=0.2)
+    text = sum_a.render()
+    assert text == sum_b.render()
+    assert "fleet profiling summary" in text
+    assert text.endswith("\n")
+
+
+def test_guard_band_lowers_margins():
+    reg_plain, _ = _run(nodes=10)
+    reg_banded, _ = _run(nodes=10, guard_band_mts=200)
+    for plain, banded in zip(reg_plain.nodes(), reg_banded.nodes()):
+        assert banded.margin_mts <= plain.margin_mts

@@ -46,6 +46,63 @@ def test_reprofile_interval():
     assert p.needs_reprofile(150.0)
 
 
+def test_needs_reprofile_exactly_at_deadline():
+    """Regression: the deadline is inclusive — a node whose interval
+    has *exactly* elapsed must re-profile (>=, not >)."""
+    p = NodeMarginProfiler(reprofile_interval_s=100.0)
+    p.profile(_channels(), now_s=10.0)
+    assert not p.needs_reprofile(109.999)
+    assert p.needs_reprofile(110.0)
+    assert p.needs_reprofile(110.001)
+
+
+def test_profile_with_retry_exhaustion():
+    """Regression: after ``max_retries`` retries the sequence gives up
+    with ``profile=None``, and the elapsed time accounts for every
+    exponential-backoff wait (60 + 120 for two retries)."""
+    from repro.resilience import FlakyTestMachine
+    profiler = NodeMarginProfiler(FlakyTestMachine(fail_calls=99))
+    outcome = profiler.profile_with_retry(
+        _channels(), now_s=1000.0, max_retries=2, backoff_s=60.0)
+    assert not outcome.succeeded
+    assert outcome.profile is None
+    assert outcome.attempts == 3          # initial try + 2 retries
+    assert outcome.elapsed_s == 180.0
+    assert profiler.failed_attempts == 3
+    assert profiler.last_profile is None
+
+
+def test_profile_with_retry_zero_retries_single_attempt():
+    from repro.resilience import FlakyTestMachine
+    profiler = NodeMarginProfiler(FlakyTestMachine(fail_calls=99))
+    outcome = profiler.profile_with_retry(
+        _channels(), now_s=0.0, max_retries=0, backoff_s=60.0)
+    assert outcome.attempts == 1
+    assert outcome.elapsed_s == 0.0
+    assert not outcome.succeeded
+
+
+def test_profile_with_retry_recovers_after_backoff():
+    from repro.resilience import FlakyTestMachine
+    profiler = NodeMarginProfiler(FlakyTestMachine(fail_calls=1))
+    outcome = profiler.profile_with_retry(
+        _channels(), now_s=0.0, max_retries=3, backoff_s=30.0)
+    assert outcome.succeeded
+    assert outcome.attempts == 2
+    # The successful profile is stamped after the backoff wait.
+    assert outcome.profile.profiled_at_s == 30.0
+
+
+def test_profile_with_retry_parameter_validation():
+    profiler = NodeMarginProfiler()
+    with pytest.raises(ValueError):
+        profiler.profile_with_retry(_channels(), now_s=0.0,
+                                    max_retries=-1)
+    with pytest.raises(ValueError):
+        profiler.profile_with_retry(_channels(), now_s=0.0,
+                                    backoff_s=0.0)
+
+
 def test_margin_bucket_on_profile():
     prof = NodeMarginProfiler().profile(_channels(), now_s=0.0)
     assert prof.margin_bucket in (800, 600, 0)
