@@ -9,6 +9,7 @@
     python -m repro hpc --nodes 256         # Figure 17-style system run
     python -m repro chaos --smoke           # fault-injection campaign
     python -m repro fleet profile           # profile a fleet registry
+    python -m repro recover restore         # crash recovery
     python -m repro suites                  # workload catalogue
 
 Each subcommand prints the same plain-text tables the benchmark
@@ -180,7 +181,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                              flaky_node_rate=args.flaky_rate,
                              workers=args.workers)
         try:
-            summary = FleetProfiler(config, registry).run()
+            summary = FleetProfiler(config, registry).run(
+                resume=args.resume, crash_after=args.crash_after)
         except OSError as exc:
             print("repro fleet: registry write failed: {}".format(exc),
                   file=sys.stderr)
@@ -252,6 +254,94 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     placed = sum(1 for a in assignments if a is not None)
     print("placed {}/{} jobs".format(placed, len(widths)))
     return EXIT_OK if placed == len(widths) else EXIT_DOMAIN_FAILURE
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_kv
+    from .fleet import MarginRegistry, RegistryError
+    from .recovery import CheckpointStore, RecoveryManager
+
+    if args.recover_command == "status":
+        from pathlib import Path
+        if not Path(args.store).is_dir():
+            print("repro recover: no checkpoint store at {}"
+                  .format(args.store), file=sys.stderr)
+            return EXIT_IO_ERROR
+        store = CheckpointStore(args.store)
+        rows = []
+        valid = 0
+        for name, ckpt, status in store.entries():
+            if ckpt is not None:
+                valid += 1
+                rows.append([name, ckpt.node, ckpt.seq,
+                             "{:.3f}".format(ckpt.time_ns / 1e9),
+                             ",".join(sorted(ckpt.state)) or "-",
+                             status])
+            else:
+                rows.append([name, "-", "-", "-", "-", status])
+        print(format_table(
+            ["checkpoint", "node", "seq", "time s", "sections",
+             "status"], rows,
+            title="checkpoint store {} ({} valid of {})".format(
+                args.store, valid, len(rows))))
+        return EXIT_OK if valid else EXIT_DOMAIN_FAILURE
+
+    try:
+        registry = MarginRegistry(args.registry, create=False)
+    except (RegistryError, OSError) as exc:
+        print("repro recover: cannot load registry: {}".format(exc),
+              file=sys.stderr)
+        return EXIT_IO_ERROR
+
+    if args.recover_command == "checkpoint":
+        if not registry.has_node(args.node):
+            print("repro recover: node {} unknown to the registry"
+                  .format(args.node), file=sys.stderr)
+            return EXIT_DOMAIN_FAILURE
+        record = registry.node(args.node)
+        store = CheckpointStore(args.store)
+        manager = RecoveryManager(store, registry, node=args.node)
+        try:
+            ckpt = manager.checkpoint_state(
+                {"node_record": record.to_dict()}, now_ns=0.0)
+        except OSError as exc:
+            print("repro recover: checkpoint write failed: {}"
+                  .format(exc), file=sys.stderr)
+            return EXIT_IO_ERROR
+        print(format_kv("recover checkpoint", [
+            ["node", args.node], ["seq", ckpt.seq],
+            ["store", args.store],
+            ["effective margin MT/s", record.effective_margin_mts]]))
+        return EXIT_OK
+
+    # restore
+    try:
+        repaired = registry.repair_log()
+        registry.write_snapshot()
+    except (RegistryError, OSError) as exc:
+        print("repro recover: registry repair failed: {}".format(exc),
+              file=sys.stderr)
+        return EXIT_IO_ERROR
+    pairs = [["registry", str(args.registry)],
+             ["torn log bytes dropped", repaired],
+             ["events replayed into snapshot", registry.last_seq],
+             ["nodes", len(registry)]]
+    restorable = len(registry) > 0
+    if args.store is not None:
+        store = CheckpointStore(args.store)
+        manager = RecoveryManager(store, registry, node=args.node)
+        recovered = manager.recover()
+        rung = recovered.durable_rung()
+        pairs += [["node", args.node],
+                  ["checkpoint seq", recovered.checkpoint_seq],
+                  ["corrupt checkpoints skipped", recovered.fallbacks],
+                  ["wal events replayed", recovered.replayed_events],
+                  ["durable rung",
+                   rung.name if rung is not None else "-"]]
+        restorable = recovered.checkpoint is not None or \
+            registry.has_node(args.node)
+    print(format_kv("recover restore", pairs))
+    return EXIT_OK if restorable else EXIT_DOMAIN_FAILURE
 
 
 def _cmd_suites(args: argparse.Namespace) -> int:
@@ -338,6 +428,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "(exercises bounded retry)")
     profile.add_argument("--report-file", default=None,
                          help="also write the summary to this path")
+    profile.add_argument("--resume", action="store_true",
+                         help="repair the event log and profile only "
+                              "nodes the registry does not know yet")
+    profile.add_argument("--crash-after", type=int, default=None,
+                         help="recovery drill: SIGKILL this process "
+                              "after N nodes, leaving a torn event "
+                              "line (never returns)")
     status = fsub.add_parser(
         "status", parents=[common],
         help="print per-node registry state and bucket counts")
@@ -352,6 +449,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated node counts, one job per "
                             "entry")
 
+    recover = sub.add_parser(
+        "recover", help="crash recovery: checkpoint store inventory, "
+                        "bootstrap checkpoints, registry repair")
+    rsub = recover.add_subparsers(dest="recover_command", required=True)
+    rstatus = rsub.add_parser(
+        "status", parents=[common],
+        help="list a checkpoint store's entries and their validity")
+    rstatus.add_argument("--store", required=True,
+                         help="checkpoint store directory")
+    rcheckpoint = rsub.add_parser(
+        "checkpoint", parents=[common],
+        help="write a bootstrap checkpoint pinning a node to the "
+             "registry's current sequence number")
+    rcheckpoint.add_argument("--store", required=True,
+                             help="checkpoint store directory")
+    rcheckpoint.add_argument("--registry", required=True,
+                             help="existing registry directory")
+    rcheckpoint.add_argument("--node", type=int, default=0)
+    rrestore = rsub.add_parser(
+        "restore", parents=[common],
+        help="repair a crashed registry (drop any torn event line, "
+             "rewrite the snapshot) and, with --store, report the "
+             "node state recovery would restore")
+    rrestore.add_argument("--registry", required=True,
+                          help="existing registry directory")
+    rrestore.add_argument("--store", default=None,
+                          help="checkpoint store directory (optional)")
+    rrestore.add_argument("--node", type=int, default=0)
+
     sub.add_parser("suites", parents=[common],
                    help="list the workload suites")
     return parser
@@ -365,6 +491,7 @@ _HANDLERS = {
     "hpc": _cmd_hpc,
     "chaos": _cmd_chaos,
     "fleet": _cmd_fleet,
+    "recover": _cmd_recover,
     "suites": _cmd_suites,
 }
 

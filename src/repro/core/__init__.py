@@ -11,14 +11,16 @@ from .profiling import NodeMarginProfiler, NodeProfile
 from .policies import (BaselinePolicy, FmrPolicy, HeteroDMRPolicy,
                        HeteroFmrPolicy, PlainBaselinePolicy)
 from .replication import (HeteroDMRManager, ReplicationError,
-                          ReplicationStats, UncorrectableError)
+                          ReplicationStats, TransientBusFault,
+                          UncorrectableError)
 
 __all__ = [
     "BaselinePolicy", "DUAL_COPY_UTILIZATION_LIMIT", "EPOCH_HOURS",
     "EpochGuard", "FmrPolicy", "HeteroDMRConfig", "HeteroDMRManager",
     "HeteroDMRPolicy", "HeteroFmrPolicy", "NODE_MARGIN_BUCKETS", "NodeMarginProfiler", "NodeProfile",
     "PlainBaselinePolicy", "REPLICATION_UTILIZATION_LIMIT",
-    "ReplicationError", "ReplicationStats", "UncorrectableError",
+    "ReplicationError", "ReplicationStats", "TransientBusFault",
+    "UncorrectableError",
     "WRITE_BATCH_TARGET", "bucket_node_margin", "channel_margin",
     "choose_free_module", "node_margin", "snap_to_step",
 ]

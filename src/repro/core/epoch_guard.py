@@ -16,6 +16,7 @@ addition to the 1000-year server SDC budget.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict
 
 from ..ecc.policy import sdc_epoch_threshold
 from ..ecc.reed_solomon import undetected_error_probability
@@ -72,6 +73,45 @@ class EpochGuard:
         """May the system run faster than spec right now?"""
         self._roll_epoch(now_ns)
         return not self._tripped
+
+    def to_state(self) -> Dict[str, object]:
+        """Serializable snapshot of the guard for checkpointing.
+
+        The dict is plain JSON types only so it can be embedded in a
+        checksummed checkpoint file (see ``repro.recovery``).
+        """
+        return {
+            "epoch_hours": self.epoch_hours,
+            "threshold": self.threshold,
+            "errors_this_epoch": self.errors_this_epoch,
+            "total_errors": self.total_errors,
+            "tripped_epochs": self.tripped_epochs,
+            "epochs_rolled": self.epochs_rolled,
+            "epoch_start_ns": self._epoch_start_ns,
+            "max_now_ns": self._max_now_ns,
+            "tripped": self._tripped,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "EpochGuard":
+        """Rebuild a guard from :meth:`to_state` output.
+
+        The restore is exact with respect to the durable state: counts
+        are never rounded down, and a tripped epoch stays tripped until
+        its boundary genuinely passes (the epoch start and high-water
+        timestamps are restored too, so a restart inside a tripped
+        epoch cannot mint a fresh error budget).
+        """
+        guard = cls(epoch_hours=float(state["epoch_hours"]),
+                    threshold=int(state["threshold"]))
+        guard.errors_this_epoch = int(state["errors_this_epoch"])
+        guard.total_errors = int(state["total_errors"])
+        guard.tripped_epochs = int(state["tripped_epochs"])
+        guard.epochs_rolled = int(state["epochs_rolled"])
+        guard._epoch_start_ns = float(state["epoch_start_ns"])
+        guard._max_now_ns = float(state["max_now_ns"])
+        guard._tripped = bool(state["tripped"])
+        return guard
 
     def worst_case_mttsdc_years(self) -> float:
         """Mean time to SDC if every epoch hits the threshold exactly:

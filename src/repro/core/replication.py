@@ -21,8 +21,9 @@ reliability invariants in DESIGN.md are machine-checked against.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..dram.channel import Channel
 from ..dram.frequency import FrequencyState
@@ -38,6 +39,12 @@ class ReplicationError(Exception):
     """Raised on datapath misuse (e.g., reading during write mode)."""
 
 
+class TransientBusFault(ReplicationError):
+    """A safe-original re-read failed transiently (bus glitch during
+    the frequency transition).  Retried with bounded backoff; only a
+    persistent fault escalates to :class:`UncorrectableError`."""
+
+
 class UncorrectableError(Exception):
     """Both the copy and its original failed to decode — the same
     detected-uncorrected outcome a conventional ECC system reports."""
@@ -49,6 +56,7 @@ class ReplicationStats:
     reads_from_copy: int = 0
     copy_errors_detected: int = 0
     corrections: int = 0
+    correction_retries: int = 0
     writes: int = 0
     broadcast_writes: int = 0
     replications: int = 0
@@ -80,6 +88,14 @@ class HeteroDMRManager:
         #: Optional repro.errors.telemetry.MarginAdvisor receiving a
         #: record per detected copy error (RAS accounting).
         self.telemetry = telemetry
+        #: Optional hook ``(address, attempt) -> bool`` simulating a
+        #: transient bus fault on a safe-original re-read; used by the
+        #: chaos campaign.  ``None`` means the bus never glitches.
+        self.bus_fault_hook: Optional[Callable[[int, int], bool]] = None
+        #: Bounded-retry policy for the correction path's safe re-read.
+        self.correction_max_retries = 3
+        self.correction_backoff_ns = 50_000.0
+        self.retry_seed = 0
         if channel.fast_timing is None:
             channel.fast_timing = self.config.fast_timing()
 
@@ -204,7 +220,7 @@ class HeteroDMRManager:
             self.telemetry.record(self.now_ns, free.module_id, address,
                                   corrected=True)
         self.now_ns = self.channel.to_safe(self.now_ns)
-        data = self._read_original(address)
+        data = self._read_original_with_retry(address)
         good = self.codec.encode(list(data), address)
         free.write_block(address, good)
         self.stats.corrections += 1
@@ -213,6 +229,33 @@ class HeteroDMRManager:
         else:
             self.in_write_mode = True
         return data
+
+    def _read_original_with_retry(self, address: int) -> Tuple[int, ...]:
+        """The correction path's safe re-read, hardened against
+        transient bus faults: bounded retries under exponential backoff
+        with deterministic seeded jitter (no wall clock, no shared RNG —
+        the jitter depends only on ``(retry_seed, address, attempt)``,
+        so identical runs stay byte-identical).  A fault persisting past
+        ``correction_max_retries`` propagates as
+        :class:`TransientBusFault`."""
+        attempt = 0
+        while True:
+            try:
+                if self.bus_fault_hook is not None and \
+                        self.bus_fault_hook(address, attempt):
+                    raise TransientBusFault(
+                        "bus fault re-reading original {:#x} "
+                        "(attempt {})".format(address, attempt))
+                return self._read_original(address)
+            except TransientBusFault:
+                if attempt >= self.correction_max_retries:
+                    raise
+                backoff_ns = self.correction_backoff_ns * (2 ** attempt)
+                rng = random.Random(self.retry_seed * 1_000_003 +
+                                    address * 7919 + attempt)
+                self.now_ns += backoff_ns * (1.0 + 0.25 * rng.random())
+                self.stats.correction_retries += 1
+                attempt += 1
 
     def _read_original(self, address: int) -> Tuple[int, ...]:
         original = self._original_module(address)

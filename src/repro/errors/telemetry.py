@@ -64,6 +64,31 @@ class ModuleErrorLog:
                   if corrected is None or e.corrected == corrected]
         return len(events) * (NS_PER_HOUR / self.window_ns)
 
+    def to_state(self) -> Dict[str, object]:
+        """Serializable snapshot of this log for checkpointing."""
+        return {
+            "module_id": self.module_id,
+            "window_ns": self.window_ns,
+            "total_ce": self.total_ce,
+            "total_ue": self.total_ue,
+            "events": [[e.time_ns, e.address, bool(e.corrected)]
+                       for e in self._events],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "ModuleErrorLog":
+        """Rebuild a log from :meth:`to_state` output, window intact."""
+        log = cls(str(state["module_id"]),
+                  window_ns=float(state["window_ns"]))
+        for time_ns, address, corrected in state["events"]:
+            log._events.append(ErrorRecord(float(time_ns),
+                                           log.module_id,
+                                           int(address),
+                                           bool(corrected)))
+        log.total_ce = int(state["total_ce"])
+        log.total_ue = int(state["total_ue"])
+        return log
+
     def repeat_addresses(self, min_count: int = 2) -> List[int]:
         """Addresses seen multiple times in the window — the signature
         of a permanent fault (Section III-E's remap trigger)."""
@@ -124,6 +149,27 @@ class MarginAdvisor:
                                 "CE rate {:.0f}/h exceeds {:.0f}/h"
                                 .format(ce, self.demote_ce_rate))
         return MarginAdvice(module_id, "keep", ce, ue, "within budget")
+
+    def to_state(self) -> Dict[str, object]:
+        """Serializable snapshot of all module windows, sorted by id so
+        checkpoint bytes are deterministic."""
+        return {
+            "demote_ce_rate": self.demote_ce_rate,
+            "window_ns": self.window_ns,
+            "logs": [self.logs[mid].to_state()
+                     for mid in sorted(self.logs)],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "MarginAdvisor":
+        """Rebuild an advisor (and every module window) from
+        :meth:`to_state` output."""
+        advisor = cls(demote_ce_rate=float(state["demote_ce_rate"]),
+                      window_ns=float(state["window_ns"]))
+        for log_state in state["logs"]:
+            log = ModuleErrorLog.from_state(log_state)
+            advisor.logs[log.module_id] = log
+        return advisor
 
     def fleet_summary(self, now_ns: float) -> Dict[str, int]:
         """Counts of modules per recommended action."""

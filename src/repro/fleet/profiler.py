@@ -17,9 +17,12 @@ profiling ran serially or on any number of workers.  CI profiles a
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import (Callable, Dict, Iterator, List, Optional,
+                    Tuple)
 
 from ..analysis.reporting import format_kv
 from ..characterization.modules import ModulePopulation
@@ -119,6 +122,7 @@ class FleetProfileSummary:
     bucket_counts: Dict[int, int] = field(default_factory=dict)
     failed_nodes: Tuple[int, ...] = ()
     workers_used: int = 1
+    skipped: int = 0                   # resume: already in the registry
 
     @property
     def succeeded(self) -> bool:
@@ -133,6 +137,8 @@ class FleetProfileSummary:
                  ["attempts", self.attempts],
                  ["profiling node-seconds", self.profiling_s],
                  ["workers", self.workers_used]]
+        if self.skipped:
+            pairs.append(["skipped (already profiled)", self.skipped])
         for bucket, count in sorted(self.bucket_counts.items(),
                                     reverse=True):
             pairs.append(["nodes at {} MT/s".format(bucket), count])
@@ -149,54 +155,93 @@ class FleetProfiler:
         self.config = config
         self.registry = registry
 
-    def _tasks(self) -> List[Tuple]:
+    def _tasks(self, indices: List[int]) -> List[Tuple]:
         cfg = self.config
         return [(cfg.seed, i, cfg.channels_per_node,
                  cfg.modules_per_channel, cfg.guard_band_mts,
                  cfg.max_retries, cfg.backoff_s, cfg.flaky_node_rate,
-                 cfg.flaky_fail_calls) for i in range(cfg.nodes)]
+                 cfg.flaky_fail_calls) for i in indices]
 
-    def _execute(self, tasks: List[Tuple],
-                 progress: Optional[Callable[[int, int], None]]
-                 ) -> Tuple[List[Dict[str, object]], int]:
-        """Run the workers; returns (results, workers actually used)."""
+    def _stream(self, tasks: List[Tuple],
+                progress: Optional[Callable[[int, int], None]]
+                ) -> Iterator[Dict[str, object]]:
+        """Yield one result per node, *in node order*, as workers
+        finish.  ``pool.map`` already yields in task order, so streamed
+        ingestion is identical to the old collect-sort-ingest flow —
+        but a run killed partway has durably ingested every completed
+        node, which is what ``resume`` builds on.  Sets
+        ``self.workers_used`` as a side effect (generators cannot
+        return it before the caller consumes them)."""
+        self.workers_used = 1
         workers = self.config.workers
         if workers > 1:
             try:
                 from concurrent.futures import ProcessPoolExecutor
-                results: List[Dict[str, object]] = []
                 chunk = max(1, len(tasks) // (workers * 4))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
+                    self.workers_used = workers
+                    done = 0
                     for result in pool.map(_profile_node, tasks,
                                            chunksize=chunk):
-                        results.append(result)
+                        done += 1
                         if progress is not None:
-                            progress(len(results), len(tasks))
-                return results, workers
+                            progress(done, len(tasks))
+                        yield result
+                return
             except (OSError, PermissionError):
-                pass        # sandboxed platform: fall back to serial
-        results = []
+                self.workers_used = 1   # sandboxed: fall back to serial
+        done = 0
         for task in tasks:
-            results.append(_profile_node(task))
+            result = _profile_node(task)
+            done += 1
             if progress is not None:
-                progress(len(results), len(tasks))
-        return results, 1
+                progress(done, len(tasks))
+            yield result
+
+    def _crash(self) -> None:
+        """Simulate a hard mid-append crash for recovery drills: leave
+        a torn half-written event line in the log (flushed, so it is
+        really on disk) and SIGKILL this process — no atexit handlers,
+        no flushing of anything else, exactly like a power cut."""
+        registry = self.registry
+        if registry.path is not None:
+            with open(registry.events_path, "a") as fh:
+                fh.write('{{"seq":{},"time_s":'.format(
+                    registry.last_seq + 1))
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.kill(os.getpid(), signal.SIGKILL)
 
     def run(self, now_s: float = 0.0,
-            progress: Optional[Callable[[int, int], None]] = None
+            progress: Optional[Callable[[int, int], None]] = None,
+            resume: bool = False,
+            crash_after: Optional[int] = None
             ) -> FleetProfileSummary:
-        """Profile every node, ingest results in node order, snapshot.
+        """Profile the fleet, ingesting each node as its result lands.
 
         ``progress(done, total)`` is called after each node completes
-        (in completion order); registry ingestion happens afterwards in
-        node order, preserving the determinism contract.
+        (node order — see :meth:`_stream`).  With ``resume=True``,
+        nodes the registry already knows (profiled *or* failed with an
+        advisory) are skipped, the event log is repaired first (a
+        previous crash may have torn its final line), and the
+        remaining nodes produce exactly the events the uninterrupted
+        run would have appended — the final snapshot and event log are
+        byte-identical either way, which CI asserts.  ``crash_after``
+        SIGKILLs the process after that many ingestions (recovery
+        drills only; the call never returns).
         """
-        results, workers_used = self._execute(self._tasks(), progress)
-        results.sort(key=lambda r: r["node"])
+        cfg = self.config
+        indices = list(range(cfg.nodes))
+        if resume:
+            self.registry.repair_log()
+            indices = [i for i in indices
+                       if not self.registry.has_node(i)]
+        skipped = cfg.nodes - len(indices)
         attempts = 0
         profiling_s = 0.0
         failed_nodes: List[int] = []
-        for result in results:
+        ingested = 0
+        for result in self._stream(self._tasks(indices), progress):
             attempts += result["attempts"]
             profiling_s += result["elapsed_s"]
             if result["ok"]:
@@ -210,14 +255,18 @@ class FleetProfiler:
                     result["node"], time_s=now_s,
                     reason="profiling failed after {} attempts"
                            .format(result["attempts"]))
+            ingested += 1
+            if crash_after is not None and ingested >= crash_after:
+                self._crash()
         if self.registry.path is not None:
             self.registry.write_snapshot()
         return FleetProfileSummary(
-            nodes=len(results),
-            profiled=len(results) - len(failed_nodes),
+            nodes=cfg.nodes,
+            profiled=len(indices) - len(failed_nodes),
             failed=len(failed_nodes),
             attempts=attempts,
             profiling_s=profiling_s,
             bucket_counts=self.registry.bucket_counts(),
             failed_nodes=tuple(failed_nodes),
-            workers_used=workers_used)
+            workers_used=self.workers_used,
+            skipped=skipped)

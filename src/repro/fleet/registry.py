@@ -67,6 +67,24 @@ def canonical_json(obj: object) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
+def fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-completed ``os.replace`` inside it
+    survives power loss — fsyncing the file alone persists the *data*,
+    but the rename itself lives in the directory entry.  Platforms
+    whose directories cannot be opened or fsynced (some network
+    filesystems, Windows) degrade to a no-op."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 @dataclass(frozen=True)
 class RegistryEvent:
     """One append-only log entry (see module docstring for kinds)."""
@@ -156,6 +174,12 @@ class MarginRegistry:
         self.path = Path(path) if path is not None else None
         self.last_seq = 0
         self._records: Dict[int, NodeRecord] = {}
+        #: Events seen by this process (loaded from the log or recorded
+        #: here), for WAL replay by ``repro.recovery``.  Events already
+        #: folded into a loaded snapshot are unavailable; the horizon
+        #: marks the first seq retained.
+        self._retained: List[RegistryEvent] = []
+        self.horizon_seq = 0
         if self.path is not None:
             if create:
                 self.path.mkdir(parents=True, exist_ok=True)
@@ -190,6 +214,7 @@ class MarginRegistry:
                 raise RegistryError("unsupported snapshot format {!r}"
                                     .format(raw.get("format")))
             self.last_seq = int(raw["last_seq"])
+            self.horizon_seq = self.last_seq
             self._records = {int(r["node"]): NodeRecord.from_dict(r)
                              for r in raw["nodes"]}
         if not self.events_path.is_file():
@@ -214,7 +239,42 @@ class MarginRegistry:
                     "sequence gap: expected {}, got {}".format(
                         self.last_seq + 1, event.seq))
             self._apply(event)
+            self._retained.append(event)
             self.last_seq = event.seq
+
+    def repair_log(self) -> int:
+        """Drop a truncated tail line a crash mid-append can leave in
+        ``events.jsonl``, rewriting the log atomically.  The load path
+        already tolerates (and skips) such a line; appending after it
+        would corrupt the log, so any resume *must* repair first.
+        Returns the number of bytes dropped (0 when already clean)."""
+        if self.path is None or not self.events_path.is_file():
+            return 0
+        original = self.events_path.read_text()
+        lines = original.splitlines()
+        valid: List[str] = []
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                RegistryEvent.from_json(line)
+            except (ValueError, KeyError):
+                if i == len(lines) - 1:
+                    break
+                raise RegistryError(
+                    "corrupt event at line {}".format(i + 1))
+            valid.append(line)
+        repaired = "".join(line + "\n" for line in valid)
+        if repaired == original:
+            return 0
+        tmp = self.events_path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w") as fh:
+            fh.write(repaired)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.events_path)
+        fsync_dir(self.path)
+        return len(original) - len(repaired)
 
     # -- recording ----------------------------------------------------------------
 
@@ -230,6 +290,7 @@ class MarginRegistry:
                               time_s=float(time_s), node=int(node),
                               kind=kind, payload=dict(payload))
         self._apply(event)
+        self._retained.append(event)
         self.last_seq = event.seq
         if self.path is not None:
             with open(self.events_path, "a") as fh:
@@ -306,6 +367,23 @@ class MarginRegistry:
         """All node records, ordered by node index."""
         return [self._records[i] for i in sorted(self._records)]
 
+    def events_since(self, seq: int,
+                     node: Optional[int] = None
+                     ) -> Tuple[List["RegistryEvent"], bool]:
+        """Retained events with ``seq`` strictly greater than ``seq``,
+        optionally filtered to one node, in seq order.
+
+        The second element reports whether the range is *complete*:
+        ``False`` when ``seq`` predates the retention horizon (events
+        folded into a snapshot before this process loaded), in which
+        case the caller must fall back to the replayed
+        :class:`NodeRecord` net state instead of an event-by-event
+        replay."""
+        complete = seq >= self.horizon_seq
+        events = [e for e in self._retained if e.seq > seq and
+                  (node is None or e.node == node)]
+        return events, complete
+
     def effective_margins(self) -> List[int]:
         """Effective margins ordered by node index (placement input)."""
         return [rec.effective_margin_mts for rec in self.nodes()]
@@ -332,7 +410,9 @@ class MarginRegistry:
     def write_snapshot(self) -> Path:
         """Atomically persist the snapshot: write a temp file in the
         registry directory, fsync, then ``os.replace`` over the old
-        snapshot so readers never observe a torn file."""
+        snapshot, then fsync the directory so the rename itself is
+        durable — readers never observe a torn file and a power cut
+        right after the replace cannot resurrect the old snapshot."""
         if self.path is None:
             raise RegistryError("in-memory registry has no snapshot "
                                 "file; use snapshot_bytes()")
@@ -342,6 +422,7 @@ class MarginRegistry:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self.snapshot_path)
+        fsync_dir(self.path)
         return self.snapshot_path
 
     def compact(self) -> int:
@@ -361,4 +442,5 @@ class MarginRegistry:
             tmp = self.events_path.with_suffix(".jsonl.tmp")
             tmp.write_text("")
             os.replace(tmp, self.events_path)
+            fsync_dir(self.path)
         return dropped

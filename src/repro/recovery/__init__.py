@@ -1,0 +1,29 @@
+"""Crash recovery for margin-exploiting nodes.
+
+The paper's safety argument assumes the bookkeeping survives: epoch
+error counts bound SDC exposure and the degradation ladder decides
+whether a module may run fast at all.  This package makes that state
+durable and restorable — versioned checksummed checkpoints
+(:mod:`~repro.recovery.checkpoint`), checkpoint + registry-WAL replay
+with conservative rounding (:mod:`~repro.recovery.manager`), and
+supervised restarts with a crash-loop budget
+(:mod:`~repro.recovery.supervisor`).  DESIGN.md §9 documents the
+recovery model and its invariants.
+"""
+
+from .checkpoint import (CHECKPOINT_FORMAT, Checkpoint, CheckpointError,
+                         CheckpointStore)
+from .manager import RecoveredState, RecoveryManager
+from .supervisor import NodeSupervisor, RestartDecision, SupervisorEvent
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointStore",
+    "RecoveredState",
+    "RecoveryManager",
+    "NodeSupervisor",
+    "RestartDecision",
+    "SupervisorEvent",
+]

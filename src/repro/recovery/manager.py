@@ -1,0 +1,251 @@
+"""Checkpoint + WAL-replay recovery for one Hetero-DMR node.
+
+:class:`RecoveryManager` owns the restart story: capture the node's
+runtime state into a :class:`~repro.recovery.checkpoint.CheckpointStore`
+periodically, and after a crash rebuild the state from two durable
+sources — the newest checkpoint that verifies, plus the
+:class:`~repro.fleet.registry.MarginRegistry` events recorded after it
+(the write-ahead log).  The combination reconverges the node view with
+the fleet view exactly: the checkpoint restores counters and armed
+state, the WAL restores every rung change the fleet already knows
+about.
+
+Restores are *conservative* by construction:
+
+* epoch-guard counters come back exactly as checkpointed — never fewer
+  errors, and a tripped epoch stays tripped until its boundary truly
+  passes;
+* the restored rung is the one named by the last durable registry
+  event; when only a margin (not an exact rung) is durable, the
+  mapping rounds toward specification and never resurrects the
+  latency-margin rung;
+* retirement is sticky across either source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from ..core.epoch_guard import EpochGuard
+from ..errors.telemetry import MarginAdvisor
+from ..fleet.registry import MarginRegistry, RegistryEvent
+from .checkpoint import Checkpoint, CheckpointStore
+
+if TYPE_CHECKING:   # real imports are deferred into method bodies so
+    # repro.recovery and repro.resilience stay importable in either
+    # order (resilience.campaign imports this package).
+    from ..resilience.degradation import (DegradationController,
+                                          LadderRung)
+
+
+@dataclass
+class RecoveredState:
+    """Everything :meth:`RecoveryManager.recover` learned from durable
+    storage, ready to rebuild the runtime objects."""
+    node: int
+    checkpoint: Optional[Checkpoint]
+    fallbacks: int                  # corrupt checkpoints skipped
+    replayed_events: int            # registry events newer than ckpt
+    wal_complete: bool              # event-by-event replay possible?
+    wal_rung_index: Optional[int]   # net rung from the WAL, if any
+    wal_retired: bool
+    ladder: List[LadderRung] = field(default_factory=list)
+
+    @property
+    def checkpoint_seq(self) -> int:
+        """Registry seq the restored state is consistent with."""
+        return self.checkpoint.seq if self.checkpoint is not None else 0
+
+    def section(self, name: str) -> Optional[Dict[str, object]]:
+        """One ``to_state()`` dict out of the checkpoint, if present."""
+        if self.checkpoint is None:
+            return None
+        return self.checkpoint.state.get(name)
+
+    def durable_rung(self) -> Optional[LadderRung]:
+        """The rung the durable record says the node may run at — the
+        WAL's answer when it has one, else the checkpoint's.  ``None``
+        when neither source knows a ladder."""
+        if not self.ladder:
+            return None
+        if self.wal_retired:
+            return self.ladder[-1]
+        if self.wal_rung_index is not None:
+            return self.ladder[self.wal_rung_index]
+        ctl = self.section("controller")
+        if ctl is None:
+            return None
+        if bool(ctl["retired"]):
+            return self.ladder[-1]
+        return self.ladder[min(int(ctl["rung_index"]),
+                               len(self.ladder) - 1)]
+
+
+class RecoveryManager:
+    """Capture and restore one node's safety-critical runtime state."""
+
+    def __init__(self, store: CheckpointStore,
+                 registry: Optional[MarginRegistry] = None,
+                 node: int = 0):
+        self.store = store
+        self.registry = registry
+        self.node = node
+        self.checkpoints_written = 0
+
+    # -- capture ------------------------------------------------------------------
+
+    def checkpoint_state(self, state: Dict[str, Dict[str, object]],
+                         now_ns: float) -> Checkpoint:
+        """Durably write a checkpoint of pre-serialized sections,
+        stamped with the registry's current sequence number."""
+        seq = self.registry.last_seq if self.registry is not None else 0
+        ckpt = Checkpoint(node=self.node, seq=seq, time_ns=now_ns,
+                          state=state)
+        self.store.write(ckpt)
+        self.checkpoints_written += 1
+        return ckpt
+
+    def capture(self, guard: EpochGuard,
+                controller: DegradationController,
+                advisor: MarginAdvisor, now_ns: float) -> Checkpoint:
+        """Checkpoint the three runtime objects' ``to_state()`` dicts."""
+        return self.checkpoint_state(
+            {"epoch_guard": guard.to_state(),
+             "controller": controller.to_state(),
+             "advisor": advisor.to_state()}, now_ns)
+
+    # -- restore ------------------------------------------------------------------
+
+    def recover(self) -> RecoveredState:
+        """Read the durable record: latest valid checkpoint (falling
+        back past corrupt ones) plus the registry WAL replayed from the
+        checkpoint's sequence number.  Pure read — call it once and
+        rebuild every runtime object from the result."""
+        ckpt, fallbacks = self.store.load_latest()
+        ladder = self._ladder_for(ckpt)
+        replayed = 0
+        wal_rung: Optional[int] = None
+        wal_retired = False
+        complete = True
+        if self.registry is not None:
+            seq = ckpt.seq if ckpt is not None else 0
+            events, complete = self.registry.events_since(
+                seq, node=self.node)
+            if complete:
+                replayed = len(events)
+                wal_rung, wal_retired = self._replay(ladder, events)
+            else:
+                # Events between the checkpoint and the snapshot fold
+                # are gone; the replayed NodeRecord *is* their net
+                # effect — use it as the durable cap.
+                wal_rung, wal_retired = self._from_record(ladder)
+        return RecoveredState(node=self.node, checkpoint=ckpt,
+                              fallbacks=fallbacks,
+                              replayed_events=replayed,
+                              wal_complete=complete,
+                              wal_rung_index=wal_rung,
+                              wal_retired=wal_retired, ladder=ladder)
+
+    def _ladder_for(self, ckpt: Optional[Checkpoint]
+                    ) -> List["LadderRung"]:
+        from ..resilience.degradation import LadderRung, build_ladder
+        if ckpt is not None and "controller" in ckpt.state:
+            return [LadderRung(str(n), int(m), bool(lat)) for n, m, lat
+                    in ckpt.state["controller"]["ladder"]]
+        if self.registry is not None and \
+                self.registry.has_node(self.node):
+            rec = self.registry.node(self.node)
+            if rec.margin_mts is not None:
+                return build_ladder(rec.margin_mts)
+        return []
+
+    def _replay(self, ladder: Sequence["LadderRung"],
+                events: Sequence[RegistryEvent]):
+        """Fold post-checkpoint registry events into a net rung.  The
+        last durable event wins; rung names recorded in event reasons
+        are matched exactly, anything else maps conservatively."""
+        from ..resilience.degradation import rung_index_for_margin
+        rung: Optional[int] = None
+        retired = False
+        names = {r.name: i for i, r in enumerate(ladder)}
+        for event in events:
+            if event.kind == "retire":
+                retired = True
+            elif event.kind in ("demote", "promote", "profile") \
+                    and ladder:
+                reason = str(event.payload.get("reason", ""))
+                if reason in names:
+                    rung = names[reason]
+                else:
+                    rung = rung_index_for_margin(
+                        ladder, int(event.payload["margin_mts"]))
+        return rung, retired
+
+    def _from_record(self, ladder: Sequence["LadderRung"]):
+        from ..resilience.degradation import rung_index_for_margin
+        if self.registry is None or \
+                not self.registry.has_node(self.node):
+            return None, False
+        rec = self.registry.node(self.node)
+        if rec.retired:
+            return None, True
+        if not ladder:
+            return None, False
+        return rung_index_for_margin(ladder,
+                                     rec.effective_margin_mts), False
+
+    # -- rebuild helpers ----------------------------------------------------------
+
+    def restore_guard(self, recovered: RecoveredState
+                      ) -> Optional[EpochGuard]:
+        """An :class:`EpochGuard` carrying the checkpointed counters,
+        or ``None`` when the checkpoint had no guard section (caller
+        builds a fresh guard — zero durable errors is exactly what the
+        record says)."""
+        state = recovered.section("epoch_guard")
+        return EpochGuard.from_state(state) if state is not None \
+            else None
+
+    def restore_advisor(self, recovered: RecoveredState
+                        ) -> Optional[MarginAdvisor]:
+        """A :class:`MarginAdvisor` with the checkpointed telemetry
+        windows, or ``None`` without one."""
+        state = recovered.section("advisor")
+        return MarginAdvisor.from_state(state) if state is not None \
+            else None
+
+    def rebuild_controller(self, manager, advisor,
+                           recovered: RecoveredState,
+                           now_ns: float = 0.0,
+                           **kwargs) -> "DegradationController":
+        """A :class:`DegradationController` restored from the
+        checkpoint with the WAL's net rung applied on top (see
+        :meth:`DegradationController.from_state` for the conservative
+        semantics).  Without a checkpointed controller section the
+        node restarts at the WAL rung — or at specification when even
+        that is unknown."""
+        from ..resilience.degradation import DegradationController
+        state = recovered.section("controller")
+        if state is None:
+            ladder = kwargs.pop("ladder", None) or \
+                recovered.ladder or None
+            hook = kwargs.pop("on_rung_change", None)
+            ctl = DegradationController(manager, advisor,
+                                        ladder=ladder,
+                                        on_rung_change=None, **kwargs)
+            index = recovered.wal_rung_index
+            ctl.rung_index = ctl.spec_index if index is None \
+                else min(index, ctl.spec_index)
+            ctl.retired = recovered.wal_retired
+            if ctl.retired:
+                ctl.rung_index = ctl.spec_index
+            ctl._apply_rung(now_ns)
+            ctl.on_rung_change = hook
+            if hook is not None:
+                hook(ctl.current_rung)
+            return ctl
+        return DegradationController.from_state(
+            manager, advisor, state, now_ns=now_ns,
+            wal_rung_index=recovered.wal_rung_index,
+            wal_retired=recovered.wal_retired, **kwargs)

@@ -1,0 +1,160 @@
+"""Node supervision: heartbeats, bounded restarts, crash-loop budget.
+
+A crashed node is only worth restarting while crashes are rare; a node
+crashing in a loop is a hardware problem wearing a software costume.
+:class:`NodeSupervisor` encodes that policy deterministically:
+
+* **heartbeats** — the node process pings the supervisor; a silence
+  longer than ``heartbeat_timeout_ns`` is treated as a crash,
+* **bounded restarts** — each crash inside the rolling budget window
+  schedules a restart after exponential backoff with deterministic
+  seeded jitter (no wall clock, no shared RNG: the jitter depends only
+  on ``(seed, node, attempt)``),
+* **restart budget** — more than ``max_restarts`` crashes inside
+  ``budget_window_ns`` exhausts the budget: the node is demoted to
+  specification permanently via a registry ``retire`` event and the
+  supervisor stops scheduling restarts.
+
+Every decision is returned as a :class:`RestartDecision` so callers
+(the chaos campaign, a fleet service) drive the clock themselves.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from ..fleet.registry import MarginRegistry
+
+NS_PER_HOUR = 3_600_000_000_000.0
+
+
+@dataclass(frozen=True)
+class RestartDecision:
+    """The supervisor's verdict on one crash."""
+    action: str          # 'restart' | 'retire'
+    attempt: int         # crash count inside the budget window
+    restart_at_ns: float  # when to bring the node back (restart only)
+    backoff_ns: float    # backoff + jitter applied (restart only)
+    reason: str
+
+
+@dataclass(frozen=True)
+class SupervisorEvent:
+    """One supervision action, for reports and debugging."""
+    time_ns: float
+    kind: str            # heartbeat-miss | crash | restart | retire
+    detail: str
+
+
+class NodeSupervisor:
+    """Watches one node: heartbeat liveness, restart scheduling."""
+
+    def __init__(self, node: int = 0,
+                 registry: Optional[MarginRegistry] = None,
+                 heartbeat_timeout_ns: float = 30e9,
+                 max_restarts: int = 5,
+                 budget_window_ns: float = NS_PER_HOUR,
+                 backoff_base_ns: float = 1e9,
+                 backoff_cap_ns: float = 60e9,
+                 jitter_fraction: float = 0.25,
+                 seed: int = 0):
+        if heartbeat_timeout_ns <= 0 or budget_window_ns <= 0:
+            raise ValueError("timeouts must be positive")
+        if max_restarts < 1:
+            raise ValueError("max_restarts must be at least 1")
+        if not 0.0 <= jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+        self.node = node
+        self.registry = registry
+        self.heartbeat_timeout_ns = heartbeat_timeout_ns
+        self.max_restarts = max_restarts
+        self.budget_window_ns = budget_window_ns
+        self.backoff_base_ns = backoff_base_ns
+        self.backoff_cap_ns = backoff_cap_ns
+        self.jitter_fraction = jitter_fraction
+        self.seed = seed
+        self.state = "running"   # running | restarting | retired
+        self.restarts_total = 0
+        self.events: List[SupervisorEvent] = []
+        self._last_heartbeat_ns = 0.0
+        self._crash_times: Deque[float] = deque()
+
+    # -- liveness -----------------------------------------------------------------
+
+    def heartbeat(self, now_ns: float) -> None:
+        """The node reports liveness."""
+        self._last_heartbeat_ns = max(self._last_heartbeat_ns, now_ns)
+
+    def check(self, now_ns: float) -> Optional[RestartDecision]:
+        """Health check: a running node silent past the heartbeat
+        timeout is declared crashed.  Returns the resulting decision,
+        or ``None`` while the node looks healthy."""
+        if self.state != "running":
+            return None
+        if now_ns - self._last_heartbeat_ns <= self.heartbeat_timeout_ns:
+            return None
+        self.events.append(SupervisorEvent(
+            now_ns, "heartbeat-miss",
+            "silent for {:.1f}s".format(
+                (now_ns - self._last_heartbeat_ns) / 1e9)))
+        return self.report_crash(now_ns, reason="missed heartbeat")
+
+    # -- crash handling ------------------------------------------------------------
+
+    def _jitter(self, attempt: int) -> float:
+        rng = random.Random(self.seed * 1_000_003 +
+                            self.node * 7919 + attempt)
+        return self.jitter_fraction * rng.random()
+
+    def report_crash(self, now_ns: float,
+                     reason: str = "crash") -> RestartDecision:
+        """Record one crash and decide: restart (with backoff) while
+        the budget holds, retire the node once it is exhausted."""
+        if self.state == "retired":
+            return RestartDecision("retire", len(self._crash_times),
+                                   now_ns, 0.0, "already retired")
+        horizon = now_ns - self.budget_window_ns
+        while self._crash_times and self._crash_times[0] < horizon:
+            self._crash_times.popleft()
+        self._crash_times.append(now_ns)
+        attempt = len(self._crash_times)
+        if attempt > self.max_restarts:
+            self.state = "retired"
+            detail = ("crash loop: {} crashes inside {:.2f}h budget "
+                      "({})".format(attempt,
+                                    self.budget_window_ns / NS_PER_HOUR,
+                                    reason))
+            self.events.append(SupervisorEvent(now_ns, "retire", detail))
+            if self.registry is not None:
+                self.registry.record_retirement(
+                    self.node, time_s=now_ns / 1e9, reason=detail)
+            return RestartDecision("retire", attempt, now_ns, 0.0,
+                                   detail)
+        self.state = "restarting"
+        backoff = min(self.backoff_cap_ns,
+                      self.backoff_base_ns * (2 ** (attempt - 1)))
+        backoff *= 1.0 + self._jitter(attempt)
+        self.events.append(SupervisorEvent(
+            now_ns, "crash",
+            "{} (attempt {}/{}, backoff {:.3f}s)".format(
+                reason, attempt, self.max_restarts, backoff / 1e9)))
+        return RestartDecision("restart", attempt, now_ns + backoff,
+                               backoff, reason)
+
+    def restarted(self, now_ns: float) -> None:
+        """The node came back: resume liveness tracking."""
+        if self.state == "retired":
+            raise RuntimeError("retired node cannot restart")
+        self.state = "running"
+        self.restarts_total += 1
+        self.heartbeat(now_ns)
+        self.events.append(SupervisorEvent(now_ns, "restart",
+                                           "node back online"))
+
+    @property
+    def retired(self) -> bool:
+        """Has the restart budget been exhausted?"""
+        return self.state == "retired"

@@ -52,13 +52,17 @@ from ..dram.frequency import FrequencyState
 from ..dram.module import Module, ModuleSpec
 from ..errors.injector import ErrorInjector
 from ..errors.telemetry import MarginAdvisor, NS_PER_HOUR
+from ..fleet.ingest import FleetIngest
+from ..fleet.registry import MarginRegistry
 from ..hpc.cluster import Cluster
 from ..hpc.job import Job
 from ..hpc.scheduler import (EasyBackfillScheduler,
                              MarginAwareAllocationPolicy)
 from ..hpc.simulator import PerformanceModel, SystemSimulator
+from ..recovery import CheckpointStore, NodeSupervisor, RecoveryManager
 from ..sim.runner import ExperimentRunner
-from .degradation import DegradationController, LadderRung, build_ladder
+from .degradation import (DegradationController, LadderEvent, LadderRung,
+                          build_ladder)
 from .report import SurvivabilityReport
 
 BLOCK_BYTES = 64
@@ -118,6 +122,18 @@ class ChaosConfig:
     high_utilization: float = 0.80
     # Re-profiling.
     reprofile_fail_calls: int = 2
+    # Crash-restart fault class (repro.recovery drills).  Each entry is
+    # (kill-point class, fraction of the duration); the exact step gets
+    # a small seeded jitter so the kill lands at a deterministic but
+    # not hand-picked instant.
+    crash_fractions: Tuple[Tuple[str, float], ...] = (
+        ("mid-write-mode", 0.06), ("mid-checkpoint", 0.27),
+        ("mid-epoch", 0.55))
+    checkpoint_every_steps: int = 20
+    checkpoint_keep: int = 4
+    supervisor_max_restarts: int = 6
+    # Transient bus faults on the correction path's safe re-read.
+    bus_fault_rate: float = 0.02
     # Node (cycle-level) phase.
     node_suite: str = "hpcg"
     node_refs_per_core: int = 1500
@@ -139,7 +155,7 @@ class ChaosConfig:
         return cls(seed=seed, duration_hours=1.0, steps=160,
                    address_count=32, reads_per_step=8,
                    epoch_hours=0.04, epoch_error_threshold=120,
-                   advisor_window_hours=0.04,
+                   demote_ce_rate=560.0, advisor_window_hours=0.04,
                    clean_window_hours=0.03, demote_dwell_hours=0.15,
                    node_refs_per_core=600, cluster_jobs=8)
 
@@ -159,6 +175,13 @@ class ChaosCampaign:
         self._dirty: Set[int] = set()
         self._perm_module_id: Optional[str] = None
         self._cluster_ran = False
+        self._stats_carry: Dict[str, int] = {}
+        self._ladder_events_carry: List[LadderEvent] = []
+        # Guard counters observed across manager incarnations: dying
+        # guards are added at crash time, restored baselines subtracted,
+        # so every trip/roll is counted exactly once in the report.
+        self._trips_carry = 0
+        self._rolls_carry = 0
         self._build()
 
     # -- construction -----------------------------------------------------------------
@@ -186,13 +209,29 @@ class ChaosCampaign:
                 epoch_error_threshold=cfg.epoch_error_threshold),
             telemetry=self.advisor)
         self.injector = ErrorInjector(self.manager, seed=cfg.seed ^ 0x1271)
+        self._bus_rng = random.Random(cfg.seed ^ 0xB05F)
+        self._attach_bus_hook(self.manager)
         self.cluster = Cluster(cfg.cluster_nodes, seed=cfg.seed)
         self.chaos_node = next(n.index for n in self.cluster.nodes
                                if n.margin_mts == 800)
-        profiler = NodeMarginProfiler(
+        # Rung changes flow *through* the fleet registry (the node's
+        # write-ahead log) before touching cluster state, so recovery
+        # can replay them after a crash.
+        self.registry = MarginRegistry()
+        self.ingest = FleetIngest(self.registry, cluster=self.cluster)
+        self.registry.record_profile(self.chaos_node,
+                                     cfg.base_margin_mts, time_s=0.0)
+        self.store = CheckpointStore(keep=cfg.checkpoint_keep)
+        self.recovery = RecoveryManager(self.store, self.registry,
+                                        node=self.chaos_node)
+        self.supervisor = NodeSupervisor(
+            node=self.chaos_node, registry=self.registry,
+            max_restarts=cfg.supervisor_max_restarts,
+            budget_window_ns=cfg.duration_ns, seed=cfg.seed)
+        self.profiler = NodeMarginProfiler(
             machine=FlakyTestMachine(fail_calls=cfg.reprofile_fail_calls,
                                      seed=cfg.seed & 0xFFFF))
-        profile_channels = [[
+        self.profile_channels = [[
             SyntheticModule("P0", ModuleSpec(),
                             true_margin_mts=820.0, boot_margin_mts=1050.0,
                             voltage_uplift_mts=100.0,
@@ -202,17 +241,27 @@ class ChaosCampaign:
                             voltage_uplift_mts=120.0,
                             ce_rate_per_hour=25.0, ue_rate_per_hour=0.0),
         ]]
+        hook = self.ingest.rung_hook(self.chaos_node)
         self.controller = DegradationController(
             self.manager, self.advisor,
             ladder=build_ladder(cfg.base_margin_mts),
             clean_window_ns=cfg.clean_window_hours * NS_PER_HOUR,
             demote_dwell_ns=cfg.demote_dwell_hours * NS_PER_HOUR,
-            profiler=profiler, profile_channels=profile_channels,
-            on_rung_change=self._propagate_rung)
+            profiler=self.profiler,
+            profile_channels=self.profile_channels,
+            on_rung_change=hook)
+        hook.controller = self.controller
 
-    def _propagate_rung(self, rung: LadderRung) -> None:
-        """Feed the ladder's current rung into cluster placement."""
-        self.cluster.demote_node(self.chaos_node, rung.margin_mts)
+    def _attach_bus_hook(self, manager: HeteroDMRManager) -> None:
+        """Arm the correction path's transient-bus-fault injection; the
+        RNG lives on the campaign so fault timing is continuous across
+        crash restarts."""
+        manager.retry_seed = self.config.seed
+        manager.bus_fault_hook = self._bus_fault
+
+    def _bus_fault(self, address: int, attempt: int) -> bool:
+        return attempt == 0 and \
+            self._bus_rng.random() < self.config.bus_fault_rate
 
     # -- helpers ------------------------------------------------------------------------
 
@@ -330,6 +379,148 @@ class ChaosCampaign:
                 self.injector.corrupt_copy(self.addresses[0])
                 self._dirty.add(self.addresses[0])
 
+    # -- crash-restart fault class (repro.recovery) -------------------------------------
+
+    def _dmr_config(self) -> HeteroDMRConfig:
+        cfg = self.config
+        return HeteroDMRConfig(
+            margin_mts=cfg.base_margin_mts,
+            epoch_hours=cfg.epoch_hours,
+            epoch_error_threshold=cfg.epoch_error_threshold)
+
+    def _accumulate_stats(self, stats) -> None:
+        """Fold a dying manager's counters into the campaign totals."""
+        for name, value in vars(stats).items():
+            self._stats_carry[name] = \
+                self._stats_carry.get(name, 0) + value
+
+    def _total_stat(self, name: str) -> int:
+        return self._stats_carry.get(name, 0) + \
+            getattr(self.manager.stats, name)
+
+    def _write_checkpoint(self, now_ns: float) -> None:
+        self.recovery.capture(self.manager.epoch_guard, self.controller,
+                              self.advisor, now_ns)
+
+    def _crash_restart(self, now_ns: float, kill_point: str) -> None:
+        """One crash-restart drill: perform the kill-point's activity,
+        lose every in-memory object, rebuild the node from durable
+        state only (checkpoint + registry WAL), and machine-check the
+        recovery invariants — conservative restore, no lost replicated
+        write, registry/cluster reconvergence."""
+        cfg = self.config
+        report = self.report
+        mgr = self.manager
+        if kill_point == "mid-write-mode":
+            # Killed between broadcast writes: whatever reached DRAM
+            # before the kill must survive recovery.
+            mgr.enter_write_mode()
+            for i in range(cfg.writes_per_batch):
+                address = self.addresses[i % len(self.addresses)]
+                data = self._fresh_data()
+                mgr.write(address, data)
+                self._shadow[address] = tuple(data)
+                self._dirty.discard(address)
+        elif kill_point == "mid-checkpoint":
+            # Killed while a checkpoint write was in flight: the torn
+            # file must be detected and recovery must fall back to the
+            # previous valid checkpoint.
+            self._write_checkpoint(now_ns)
+            self.store.corrupt_latest()
+        # The crash: every in-memory object is gone.  DRAM contents
+        # survive, but copies are untrusted after an unclean shutdown —
+        # recovery scrubs and re-replicates them from the originals.
+        report.crashes += 1
+        report.kill_points[kill_point] = \
+            report.kill_points.get(kill_point, 0) + 1
+        decision = self.supervisor.report_crash(now_ns,
+                                                reason=kill_point)
+        self._ladder_events_carry.extend(self.controller.events)
+        self._accumulate_stats(mgr.stats)
+        self._trips_carry += mgr.epoch_guard.tripped_epochs
+        self._rolls_carry += mgr.epoch_guard.epochs_rolled
+        restart_ns = decision.restart_at_ns
+        # What the durable record promises, for the assertions below.
+        recovered = self.recovery.recover()
+        report.checkpoint_fallbacks += recovered.fallbacks
+        report.replayed_events += recovered.replayed_events
+        durable_guard = recovered.section("epoch_guard") or {}
+        durable_errors = int(durable_guard.get("errors_this_epoch", 0))
+        durable_total = int(durable_guard.get("total_errors", 0))
+        durable_rung = recovered.durable_rung()
+        # Rebuild the node from durable state only.
+        self.channel.to_safe(restart_ns)
+        for module in self.channel.modules:
+            if module.holds_copies:
+                module.scrub()
+                module.holds_copies = False
+                module.is_free = False
+        advisor = self.recovery.restore_advisor(recovered)
+        if advisor is None:
+            advisor = MarginAdvisor(
+                demote_ce_rate=cfg.demote_ce_rate,
+                window_ns=cfg.advisor_window_hours * NS_PER_HOUR)
+        manager = HeteroDMRManager(self.channel,
+                                   config=self._dmr_config(),
+                                   telemetry=advisor)
+        guard = self.recovery.restore_guard(recovered)
+        if guard is not None:
+            manager.epoch_guard = guard
+        manager.now_ns = restart_ns
+        self._attach_bus_hook(manager)
+        self.injector.manager = manager   # RNG continuity across crash
+        self.advisor = advisor
+        self.manager = manager
+        manager.observe_utilization(cfg.low_utilization)
+        self.controller = self.recovery.rebuild_controller(
+            manager, advisor, recovered, now_ns=restart_ns,
+            clean_window_ns=cfg.clean_window_hours * NS_PER_HOUR,
+            demote_dwell_ns=cfg.demote_dwell_hours * NS_PER_HOUR,
+            profiler=self.profiler,
+            profile_channels=self.profile_channels)
+        hook = self.ingest.rung_hook(self.chaos_node, self.controller)
+        self.controller.on_rung_change = hook
+        hook(self.controller.current_rung)
+        # Conservative restore: never fewer epoch errors ...
+        restored_guard = manager.epoch_guard
+        if restored_guard.errors_this_epoch < durable_errors or \
+                restored_guard.total_errors < durable_total:
+            report.conservative_violations += 1
+        # ... and never a faster rung than the last durable state.
+        if durable_rung is not None:
+            restored = self.controller.current_rung
+            faster = restored.margin_mts > durable_rung.margin_mts or (
+                restored.margin_mts == durable_rung.margin_mts and
+                restored.use_latency_margin and
+                not durable_rung.use_latency_margin)
+            if faster:
+                report.conservative_violations += 1
+        # No replicated write lost: every address still returns the
+        # last value the core wrote before the crash.
+        manager.enter_write_mode()
+        for address in self.addresses:
+            report.recovery_read_checks += 1
+            try:
+                data = manager.read(address)
+            except UncorrectableError:
+                report.uncorrectable_errors += 1
+                continue
+            if tuple(data) != self._shadow[address]:
+                report.lost_writes += 1
+        self._dirty.clear()   # recovery re-replicated every copy
+        # Placement reconvergence: the fleet view (registry) and the
+        # scheduler view (cluster) agree on the node's margin.
+        rec = self.registry.node(self.chaos_node)
+        node = self.cluster.nodes[self.chaos_node]
+        if rec.effective_margin_mts != node.effective_margin_mts:
+            report.reconvergence_failures += 1
+        # The restored baselines were already counted in the dying
+        # guard's totals — subtract so the report counts each once.
+        self._trips_carry -= manager.epoch_guard.tripped_epochs
+        self._rolls_carry -= manager.epoch_guard.epochs_rolled
+        self.supervisor.restarted(restart_ns)
+        report.recoveries += 1
+
     # -- phases -----------------------------------------------------------------------
 
     def _run_cluster_phase(self) -> None:
@@ -395,27 +586,51 @@ class ChaosCampaign:
 
     # -- the campaign -------------------------------------------------------------------
 
+    def _crash_steps(self) -> Dict[int, str]:
+        """Deterministic seeded kill-points: each configured fraction
+        lands on its step with a small seeded jitter so the kill
+        instant is reproducible but not hand-aligned to the workload."""
+        cfg = self.config
+        rng = random.Random(cfg.seed ^ 0xDEAD)
+        steps: Dict[int, str] = {}
+        for name, frac in cfg.crash_fractions:
+            step = int(frac * cfg.steps) + rng.randrange(-2, 3)
+            step = max(1, min(cfg.steps - 2, step))
+            while step in steps:
+                step += 1
+            steps[step] = name
+        return steps
+
     def run(self) -> SurvivabilityReport:
         cfg = self.config
-        mgr = self.manager
         report = self.report
+        report.kill_points_expected = tuple(sorted(
+            {name for name, _ in cfg.crash_fractions}))
         report.groups_before = self.cluster.group_counts()
         # Populate memory and activate replication.
         for address in self.addresses:
             data = self._fresh_data()
-            mgr.write(address, data)
+            self.manager.write(address, data)
             self._shadow[address] = tuple(data)
-        mgr.observe_utilization(cfg.low_utilization)
+        self.manager.observe_utilization(cfg.low_utilization)
         self.controller.maybe_enter_read_mode(0.0)
+        self._write_checkpoint(0.0)   # boot checkpoint
         step_ns = cfg.duration_ns / cfg.steps
         swing_steps = {int(f * cfg.steps) for f in cfg.swing_fractions}
         armed_steps = {int(f * cfg.steps)
                        for f in cfg.armed_fault_fractions}
+        crash_steps = self._crash_steps()
         read_cursor = 0
         for step in range(cfg.steps):
             now_ns = (step + 1) * step_ns
             frac = (step + 1) / cfg.steps
-            mgr.now_ns = max(mgr.now_ns, now_ns)
+            if step in crash_steps:
+                # The node dies this step; the drill performs the
+                # kill-point activity, recovers, and checks invariants.
+                self._crash_restart(now_ns, crash_steps[step])
+                continue
+            self.supervisor.heartbeat(now_ns)
+            self.manager.now_ns = max(self.manager.now_ns, now_ns)
             ambient = (cfg.thermal_ambient_c
                        if self._in_span(frac, cfg.thermal_span)
                        else ROOM_AMBIENT_C)
@@ -445,9 +660,16 @@ class ChaosCampaign:
             except SafetyViolation:
                 report.safety_violations += 1
             self._check_inv3()
-            self.controller.observe(now_ns)
+            events = self.controller.observe(now_ns)
             self._check_inv5(now_ns)
             self.controller.maybe_enter_read_mode(now_ns)
+            # Safety-critical transitions (trips, rung moves, remaps)
+            # are flushed to durable storage immediately; quiet steps
+            # checkpoint on the periodic cadence.
+            if events:
+                self._write_checkpoint(now_ns)
+            elif step and step % cfg.checkpoint_every_steps == 0:
+                self._write_checkpoint(now_ns)
             if not self._cluster_ran and self.controller.at_spec:
                 self._run_cluster_phase()
         self._finalize(cfg.duration_ns)
@@ -456,31 +678,37 @@ class ChaosCampaign:
     def _finalize(self, end_ns: float) -> None:
         report = self.report
         mgr = self.manager
-        stats = mgr.stats
-        report.reads = stats.reads
-        report.writes = stats.writes
-        report.corrections = stats.corrections
-        report.copy_errors_detected = stats.copy_errors_detected
+        # Datapath totals span every manager incarnation: counters of
+        # managers lost to crash drills were folded into the carry.
+        report.reads = self._total_stat("reads")
+        report.writes = self._total_stat("writes")
+        report.corrections = self._total_stat("corrections")
+        report.copy_errors_detected = \
+            self._total_stat("copy_errors_detected")
+        report.correction_retries = \
+            self._total_stat("correction_retries")
         report.injected_errors = self.injector.stats.injected
         report.injected_by_pattern = dict(sorted(
             self.injector.stats.by_pattern.items()))
         report.transition_faults = self.channel.frequency.failed_transitions
-        report.epoch_trips = mgr.epoch_guard.tripped_epochs
-        report.epochs_rolled = mgr.epoch_guard.epochs_rolled
+        report.epoch_trips = \
+            self._trips_carry + mgr.epoch_guard.tripped_epochs
+        report.epochs_rolled = \
+            self._rolls_carry + mgr.epoch_guard.epochs_rolled
         report.invariant_checks = dict(self._checks)
-        report.ladder_events = list(self.controller.events)
+        events = self._ladder_events_carry + list(self.controller.events)
+        report.ladder_events = events
         report.final_rung = self.controller.current_rung.name
-        report.remaps = sum(1 for e in self.controller.events
-                            if e.kind == "remap")
+        report.remaps = sum(1 for e in events if e.kind == "remap")
         report.demoted_to_spec = any(
-            e.kind == "demote" and e.to_rung == "spec"
-            for e in self.controller.events)
-        report.repromoted = any(e.kind == "promote"
-                                for e in self.controller.events)
+            e.kind == "demote" and e.to_rung == "spec" for e in events)
+        report.repromoted = any(e.kind == "promote" for e in events)
         report.retired = self.controller.retired
         report.reprofile_attempts = self.controller.reprofile_attempts
         report.reprofile_failures = self.controller.reprofile_failures
         report.fleet_summary = self.advisor.fleet_summary(end_ns)
+        report.checkpoints_written = self.recovery.checkpoints_written
+        report.supervisor_restarts = self.supervisor.restarts_total
         report.groups_after = self.cluster.group_counts()
         self._run_node_phase()
 

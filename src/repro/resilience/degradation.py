@@ -27,7 +27,7 @@ so every rung change preserves the §6 invariants by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..core.profiling import NodeMarginProfiler, ProfileOutcome
 from ..core.replication import HeteroDMRManager
@@ -69,6 +69,26 @@ def build_ladder(base_margin_mts: int = 800,
         margin -= step_mts
     rungs.append(LadderRung("spec", 0, False))
     return rungs
+
+
+def rung_index_for_margin(ladder: Sequence[LadderRung],
+                          margin_mts: int,
+                          allow_latency_margin: bool = False) -> int:
+    """Most aggressive rung no faster than ``margin_mts`` —
+    the *conservative* mapping used when a durable record names only a
+    margin, not an exact rung.  Latency-margin rungs are considered
+    faster than the frequency-only rung at the same margin, so they are
+    only eligible when ``allow_latency_margin`` is set; among equally
+    fast survivors the slowest variant (highest index) wins.  With no
+    eligible rung at all the node lands at specification."""
+    candidates = [i for i, rung in enumerate(ladder)
+                  if rung.margin_mts <= margin_mts and
+                  (allow_latency_margin or not rung.use_latency_margin)]
+    if not candidates:
+        return len(ladder) - 1
+    best_margin = max(ladder[i].margin_mts for i in candidates)
+    return max(i for i in candidates
+               if ladder[i].margin_mts == best_margin)
 
 
 @dataclass(frozen=True)
@@ -288,6 +308,86 @@ class DegradationController:
         self._move_to(self.rung_index - 1, now_ns, "promote",
                       "clean window ({:.3f} h)".format(
                           self.clean_window_ns / NS_PER_HOUR))
+
+    # -- checkpoint hooks -----------------------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """Serializable snapshot of the controller for checkpointing.
+
+        Captures the ladder itself (rungs are config, but the restored
+        process must walk the *same* ladder), the current rung, and the
+        armed state the machine needs to keep its guarantees across a
+        restart: retirement, seen epoch trips, remapped modules, and
+        the quiet/dwell clocks."""
+        return {
+            "ladder": [[r.name, r.margin_mts, r.use_latency_margin]
+                       for r in self.ladder],
+            "rung_index": self.rung_index,
+            "retired": self.retired,
+            "reprofile_attempts": self.reprofile_attempts,
+            "reprofile_failures": self.reprofile_failures,
+            "last_change_ns": self.last_change_ns,
+            "last_error_ns": self.last_error_ns,
+            "seen_trips": self._seen_trips,
+            "remapped_modules": sorted(self._remapped_modules),
+        }
+
+    @classmethod
+    def from_state(cls, manager: HeteroDMRManager,
+                   advisor: MarginAdvisor,
+                   state: Dict[str, object],
+                   now_ns: float = 0.0,
+                   wal_rung_index: Optional[int] = None,
+                   wal_retired: bool = False,
+                   **kwargs) -> "DegradationController":
+        """Rebuild a controller from :meth:`to_state` output.
+
+        ``wal_rung_index``/``wal_retired`` carry the net effect of
+        registry events newer than the checkpoint (WAL replay, see
+        ``repro.recovery``): the last durable event wins over the
+        checkpointed rung.  The restore is conservative by design:
+
+        * the quiet clock restarts at ``now_ns`` — a restart is itself
+          a disturbance, so a full clean window must elapse before any
+          promotion;
+        * error recency is re-anchored to the (fresh) manager's stats
+          so the first post-restart error is noticed immediately;
+        * a retired node stays retired, remapped modules stay remapped,
+          and if the manager re-activated replication onto a module the
+          durable state knows is faulty, the roles are swapped back.
+
+        ``kwargs`` forward tuning parameters (windows, profiler, the
+        ``on_rung_change`` hook, ...) to the constructor; the hook is
+        detached during reconstruction so intermediate rung changes are
+        not broadcast, then invoked once with the final rung.
+        """
+        ladder = [LadderRung(str(name), int(margin), bool(lat))
+                  for name, margin, lat in state["ladder"]]
+        hook = kwargs.pop("on_rung_change", None)
+        ctl = cls(manager, advisor, ladder=ladder,
+                  on_rung_change=None, **kwargs)
+        ctl.rung_index = min(int(state["rung_index"]), ctl.spec_index)
+        if wal_rung_index is not None:
+            ctl.rung_index = min(int(wal_rung_index), ctl.spec_index)
+        ctl.retired = bool(state["retired"]) or bool(wal_retired)
+        if ctl.retired:
+            ctl.rung_index = ctl.spec_index
+        ctl.reprofile_attempts = int(state["reprofile_attempts"])
+        ctl.reprofile_failures = int(state["reprofile_failures"])
+        ctl.last_error_ns = float(state["last_error_ns"])
+        ctl._seen_trips = max(int(state["seen_trips"]),
+                              manager.epoch_guard.tripped_epochs)
+        ctl._last_copy_errors = manager.stats.copy_errors_detected
+        ctl._remapped_modules = set(state["remapped_modules"])
+        ctl._apply_rung(max(now_ns, float(state["last_change_ns"])))
+        free_id = ctl._free_module_id()
+        if free_id is not None and free_id in ctl._remapped_modules \
+                and manager.replication_active:
+            manager.report_permanent_fault(manager.free_module_index)
+        ctl.on_rung_change = hook
+        if hook is not None:
+            hook(ctl.current_rung)
+        return ctl
 
     def _reprofile(self, now_ns: float) -> bool:
         """Leaving specification requires a fresh margin profile; a

@@ -52,6 +52,20 @@ class SurvivabilityReport:
     reprofile_attempts: int = 0
     reprofile_failures: int = 0
     fleet_summary: Dict[str, int] = field(default_factory=dict)
+    # Crash-recovery drills (repro.recovery).
+    crashes: int = 0
+    recoveries: int = 0
+    kill_points: Dict[str, int] = field(default_factory=dict)
+    kill_points_expected: Tuple[str, ...] = ()
+    checkpoints_written: int = 0
+    checkpoint_fallbacks: int = 0
+    replayed_events: int = 0
+    conservative_violations: int = 0   # must stay zero
+    lost_writes: int = 0               # must stay zero
+    recovery_read_checks: int = 0
+    reconvergence_failures: int = 0    # must stay zero
+    supervisor_restarts: int = 0
+    correction_retries: int = 0
     # Node-level (cycle-ish) phase.
     node_slowdown: float = 1.0
     node_read_retries: int = 0
@@ -100,6 +114,22 @@ class SurvivabilityReport:
             out.append("ladder never re-promoted after a clean window")
         if not self.placement_consistent:
             out.append("cluster placement inconsistent with margins")
+        if self.conservative_violations:
+            out.append("{} conservative-restore violations (recovery)"
+                       .format(self.conservative_violations))
+        if self.lost_writes:
+            out.append("{} replicated writes lost across crash recovery"
+                       .format(self.lost_writes))
+        if self.reconvergence_failures:
+            out.append("{} registry/cluster reconvergence failures"
+                       .format(self.reconvergence_failures))
+        if self.recoveries != self.crashes:
+            out.append("{} crashes but {} recoveries"
+                       .format(self.crashes, self.recoveries))
+        for kill_point in self.kill_points_expected:
+            if not self.kill_points.get(kill_point):
+                out.append("crash kill-point {} never exercised"
+                           .format(kill_point))
         return out
 
     def passed(self) -> bool:
@@ -151,6 +181,21 @@ class SurvivabilityReport:
                 ("reprofile_failures", self.reprofile_failures),
             ] + [("fleet[{}]".format(k), v) for k, v in
                  sorted(self.fleet_summary.items())]),
+            format_kv("Crash recovery", [
+                ("crashes", self.crashes),
+                ("recoveries", self.recoveries),
+                ("checkpoints_written", self.checkpoints_written),
+                ("checkpoint_fallbacks", self.checkpoint_fallbacks),
+                ("replayed_events", self.replayed_events),
+                ("conservative_violations",
+                 self.conservative_violations),
+                ("lost_writes", self.lost_writes),
+                ("recovery_read_checks", self.recovery_read_checks),
+                ("reconvergence_failures", self.reconvergence_failures),
+                ("supervisor_restarts", self.supervisor_restarts),
+                ("correction_retries", self.correction_retries),
+            ] + [("kill[{}]".format(k), v) for k, v in
+                 sorted(self.kill_points.items())]),
             format_kv("Node phase", [
                 ("slowdown_vs_healthy", self.node_slowdown),
                 ("read_retries", self.node_read_retries),

@@ -130,3 +130,27 @@ def test_detects_any_corruption_up_to_8_bytes(seed, nbytes):
     for p in rng.sample(range(72), nbytes):
         raw[p] ^= rng.randrange(1, 256)
     assert not CODEC.check(blk.with_stored_bytes(raw), addr)
+
+
+def test_detect_only_policy_fuzz_round_trip():
+    """Seeded fuzz: random blocks at random addresses round-trip clean
+    through :class:`DetectOnlyPolicy`, and any random corruption of up
+    to 8 stored symbols is *detected*, never silently accepted — the
+    guarantee the Hetero-DMR copy path's zero-SDC argument rests on."""
+    from repro.ecc.policy import DecodeStatus, DetectOnlyPolicy
+    policy = DetectOnlyPolicy()
+    rng = random.Random(0xBA3B00)
+    for _ in range(400):
+        data = [rng.randrange(256) for _ in range(BLOCK_DATA_BYTES)]
+        addr = rng.randrange(2 ** (8 * ADDRESS_BYTES))
+        block = policy.codec.encode(data, addr)
+        clean = policy.decode(block, addr)
+        assert clean.status is DecodeStatus.CLEAN
+        assert clean.data == tuple(data)
+        raw = block.stored_bytes()
+        nbytes = rng.randint(1, BLOCK_ECC_BYTES)     # <= 8 symbols
+        for p in rng.sample(range(len(raw)), nbytes):
+            raw[p] ^= rng.randrange(1, 256)
+        corrupted = policy.decode(block.with_stored_bytes(raw), addr)
+        assert corrupted.status is DecodeStatus.DETECTED_UNCORRECTED
+        assert corrupted.data is None

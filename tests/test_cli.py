@@ -155,3 +155,166 @@ def test_fleet_missing_registry_is_io_error(capsys, tmp_path):
 def test_fleet_requires_subcommand():
     with pytest.raises(SystemExit):
         main(["fleet"])
+
+
+# -- crash recovery (PR 3) --------------------------------------------------------
+
+
+def _profiled_registry(tmp_path, nodes=6):
+    reg = tmp_path / "reg"
+    assert main(["fleet", "profile", "--nodes", str(nodes),
+                 "--registry", str(reg)]) == 0
+    return reg
+
+
+def test_recover_status_missing_store_is_io_error(capsys, tmp_path):
+    assert main(["recover", "status",
+                 "--store", str(tmp_path / "missing")]) == 2
+    assert "no checkpoint store" in capsys.readouterr().err
+
+
+def test_recover_checkpoint_and_status(capsys, tmp_path):
+    reg = _profiled_registry(tmp_path)
+    store = tmp_path / "ckpts"
+    capsys.readouterr()
+    assert main(["recover", "checkpoint", "--store", str(store),
+                 "--registry", str(reg), "--node", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "recover checkpoint" in out
+    assert main(["recover", "status", "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "1 valid of 1" in out
+    assert "node_record" in out
+
+
+def test_recover_status_flags_corrupt_checkpoints(capsys, tmp_path):
+    from repro.recovery import CheckpointStore
+    reg = _profiled_registry(tmp_path)
+    store = tmp_path / "ckpts"
+    assert main(["recover", "checkpoint", "--store", str(store),
+                 "--registry", str(reg), "--node", "0"]) == 0
+    assert main(["recover", "checkpoint", "--store", str(store),
+                 "--registry", str(reg), "--node", "0"]) == 0
+    CheckpointStore(store).corrupt_latest()
+    capsys.readouterr()
+    assert main(["recover", "status", "--store", str(store)]) == 0
+    assert "1 valid of 2" in capsys.readouterr().out
+
+
+def test_recover_status_all_corrupt_is_domain_failure(capsys, tmp_path):
+    from repro.recovery import CheckpointStore
+    reg = _profiled_registry(tmp_path)
+    store = tmp_path / "ckpts"
+    assert main(["recover", "checkpoint", "--store", str(store),
+                 "--registry", str(reg), "--node", "0"]) == 0
+    CheckpointStore(store).corrupt_latest()
+    capsys.readouterr()
+    assert main(["recover", "status", "--store", str(store)]) == 1
+
+
+def test_recover_checkpoint_unknown_node_is_domain_failure(
+        capsys, tmp_path):
+    reg = _profiled_registry(tmp_path, nodes=4)
+    capsys.readouterr()
+    assert main(["recover", "checkpoint",
+                 "--store", str(tmp_path / "ckpts"),
+                 "--registry", str(reg), "--node", "99"]) == 1
+    assert "unknown to the registry" in capsys.readouterr().err
+
+
+def test_recover_restore_missing_registry_is_io_error(capsys, tmp_path):
+    assert main(["recover", "restore",
+                 "--registry", str(tmp_path / "missing")]) == 2
+    assert "cannot load registry" in capsys.readouterr().err
+
+
+def test_recover_restore_repairs_torn_log(capsys, tmp_path):
+    reg = _profiled_registry(tmp_path)
+    torn = '{"seq":7,"time_s":'
+    with open(reg / "events.jsonl", "a") as fh:
+        fh.write(torn)
+    capsys.readouterr()
+    assert main(["recover", "restore", "--registry", str(reg)]) == 0
+    out = capsys.readouterr().out
+    assert "torn log bytes dropped" in out
+    assert str(len(torn)) in out
+    # Idempotent: a second restore has nothing to drop.
+    assert main(["recover", "restore", "--registry", str(reg)]) == 0
+    second = capsys.readouterr().out
+    assert "torn log bytes dropped" in second
+    assert str(len(torn)) not in second
+    # Registry loads cleanly and profiling can resume.
+    assert main(["fleet", "status", "--registry", str(reg)]) == 0
+
+
+def test_recover_restore_reports_durable_rung(capsys, tmp_path):
+    reg = _profiled_registry(tmp_path)
+    store = tmp_path / "ckpts"
+    assert main(["recover", "checkpoint", "--store", str(store),
+                 "--registry", str(reg), "--node", "2"]) == 0
+    capsys.readouterr()
+    assert main(["recover", "restore", "--registry", str(reg),
+                 "--store", str(store), "--node", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "durable rung" in out
+    assert "wal events replayed" in out
+
+
+def test_fleet_profile_resume_flag(capsys, tmp_path):
+    reg = tmp_path / "reg"
+    assert main(["fleet", "profile", "--nodes", "5",
+                 "--registry", str(reg)]) == 0
+    capsys.readouterr()
+    # Resuming with a larger fleet profiles only the new nodes and
+    # matches the uninterrupted run byte for byte.
+    assert main(["fleet", "profile", "--nodes", "8", "--resume",
+                 "--registry", str(reg)]) == 0
+    out = capsys.readouterr().out
+    assert "skipped (already profiled)" in out
+    assert main(["fleet", "profile", "--nodes", "8",
+                 "--registry", str(tmp_path / "ref")]) == 0
+    assert (reg / "snapshot.json").read_bytes() == \
+        (tmp_path / "ref" / "snapshot.json").read_bytes()
+    assert (reg / "events.jsonl").read_bytes() == \
+        (tmp_path / "ref" / "events.jsonl").read_bytes()
+
+
+def test_recover_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main(["recover"])
+
+
+def test_fleet_profile_crash_after_then_recover(tmp_path):
+    """End-to-end crash drill through the real CLI: SIGKILL mid-run,
+    repair, resume, and compare against an uninterrupted run."""
+    import subprocess
+    import sys as _sys
+
+    def run(*argv):
+        return subprocess.run([_sys.executable, "-m", "repro", *argv],
+                              capture_output=True, text=True)
+
+    reg = tmp_path / "reg"
+    crashed = run("fleet", "profile", "--nodes", "8",
+                  "--registry", str(reg), "--crash-after", "3")
+    assert crashed.returncode != 0          # SIGKILL: -9 or 137
+    assert (reg / "events.jsonl").exists()
+    # The kill left a torn final event line behind.
+    assert not (reg / "events.jsonl").read_text().endswith("\n")
+
+    restored = run("recover", "restore", "--registry", str(reg))
+    assert restored.returncode == 0, restored.stderr
+    assert "torn log bytes dropped" in restored.stdout
+
+    resumed = run("fleet", "profile", "--nodes", "8", "--resume",
+                  "--registry", str(reg))
+    assert resumed.returncode == 0, resumed.stderr
+    assert "skipped (already profiled)" in resumed.stdout
+
+    ref = run("fleet", "profile", "--nodes", "8",
+              "--registry", str(tmp_path / "ref"))
+    assert ref.returncode == 0, ref.stderr
+    assert (reg / "snapshot.json").read_bytes() == \
+        (tmp_path / "ref" / "snapshot.json").read_bytes()
+    assert (reg / "events.jsonl").read_bytes() == \
+        (tmp_path / "ref" / "events.jsonl").read_bytes()

@@ -59,3 +59,10 @@ def test_fleet_service_small():
 def test_node_speedup_rejects_unknown_suite():
     r = _run(f"{EXAMPLES}/node_speedup.py", "spec2017")
     assert r.returncode != 0
+
+
+def test_crash_recovery_example():
+    r = _run(f"{EXAMPLES}/crash_recovery.py")
+    assert r.returncode == 0, r.stderr
+    assert "torn checkpoint left behind" in r.stdout
+    assert "all replicated data intact after recovery" in r.stdout

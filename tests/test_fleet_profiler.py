@@ -109,3 +109,44 @@ def test_guard_band_lowers_margins():
     reg_banded, _ = _run(nodes=10, guard_band_mts=200)
     for plain, banded in zip(reg_plain.nodes(), reg_banded.nodes()):
         assert banded.margin_mts <= plain.margin_mts
+
+
+# -- crash/resume determinism (PR 3 recovery) -------------------------------------
+
+
+def test_resume_after_partial_run_is_byte_identical(tmp_path):
+    """A run killed partway (simulated: profile only the first 5 nodes
+    of 12, then tear the event log) resumes to the exact bytes the
+    uninterrupted run produces — node_seed depends only on
+    (fleet_seed, index), never on fleet size or prior progress."""
+    registry_a, _ = _run(tmp_path, name="uninterrupted")
+
+    partial = MarginRegistry(tmp_path / "crashed")
+    FleetProfiler(FleetConfig(nodes=5, workers=0), partial).run()
+    torn = '{"seq":6,"time_s":'
+    with open(partial.events_path, "a") as fh:
+        fh.write(torn)                 # crash mid-append
+
+    registry_b = MarginRegistry(tmp_path / "crashed")
+    summary = FleetProfiler(FleetConfig(nodes=12, workers=0),
+                            registry_b).run(resume=True)
+    assert summary.skipped == 5
+    assert summary.profiled + summary.failed == 7
+    events_a = (tmp_path / "uninterrupted" / "events.jsonl").read_bytes()
+    events_b = (tmp_path / "crashed" / "events.jsonl").read_bytes()
+    assert events_a == events_b
+    snap_a = (tmp_path / "uninterrupted" / "snapshot.json").read_bytes()
+    snap_b = (tmp_path / "crashed" / "snapshot.json").read_bytes()
+    assert snap_a == snap_b
+
+
+def test_resume_on_complete_registry_skips_everything(tmp_path):
+    registry, _ = _run(tmp_path)
+    before = registry.events_path.read_bytes()
+    summary = FleetProfiler(FleetConfig(nodes=12, workers=0),
+                            registry).run(resume=True)
+    assert summary.skipped == 12
+    assert summary.profiled == 0 and summary.failed == 0
+    assert summary.attempts == 0
+    assert registry.events_path.read_bytes() == before
+    assert "skipped (already profiled)" in summary.render()

@@ -189,3 +189,84 @@ def test_node_record_roundtrip():
                      profiled_at_s=1.5, demoted_margin_mts=200,
                      retired=False, advisories=2, last_seq=9)
     assert NodeRecord.from_dict(rec.to_dict()) == rec
+
+
+# -- crash repair + WAL windows (PR 3 recovery support) ---------------------------
+
+
+def test_repair_log_drops_torn_tail(tmp_path):
+    reg = MarginRegistry(tmp_path / "fleet")
+    reg.record_profile(0, 800)
+    reg.record_profile(1, 600)
+    torn = '{"seq":3,"time_s":'
+    with open(reg.events_path, "a") as fh:
+        fh.write(torn)
+    dropped = MarginRegistry(tmp_path / "fleet").repair_log()
+    assert dropped == len(torn)
+    # The repaired log appends cleanly from the surviving sequence.
+    reloaded = MarginRegistry(tmp_path / "fleet")
+    assert reloaded.last_seq == 2
+    event = reloaded.record_profile(2, 400)
+    assert event.seq == 3
+    assert MarginRegistry(tmp_path / "fleet").last_seq == 3
+
+
+def test_repair_log_is_noop_when_clean(tmp_path):
+    reg = MarginRegistry(tmp_path / "fleet")
+    reg.record_profile(0, 800)
+    before = reg.events_path.read_bytes()
+    assert reg.repair_log() == 0
+    assert reg.events_path.read_bytes() == before
+
+
+def test_repair_log_noop_in_memory():
+    assert MarginRegistry().repair_log() == 0
+
+
+def test_repair_log_rejects_mid_file_corruption(tmp_path):
+    reg = MarginRegistry(tmp_path / "fleet")
+    reg.record_profile(0, 800)
+    reg.record_profile(1, 600)
+    lines = reg.events_path.read_text().splitlines()
+    lines[0] = lines[0][:15]
+    reg.events_path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(RegistryError):
+        reg.repair_log()
+
+
+def test_events_since_filters_seq_and_node(tmp_path):
+    reg = MarginRegistry(tmp_path / "fleet")
+    reg.record_profile(0, 800)               # seq 1
+    reg.record_profile(1, 600)               # seq 2
+    reg.record_demotion(0, 400)              # seq 3
+    reg.record_demotion(1, 200)              # seq 4
+    events, complete = reg.events_since(2)
+    assert complete
+    assert [e.seq for e in events] == [3, 4]
+    events, complete = reg.events_since(1, node=0)
+    assert complete
+    assert [e.seq for e in events] == [3]
+    events, complete = reg.events_since(4)
+    assert complete and events == []
+
+
+def test_events_since_incomplete_past_retention_horizon(tmp_path):
+    reg = MarginRegistry(tmp_path / "fleet")
+    reg.record_profile(0, 800)               # seq 1
+    reg.record_demotion(0, 400)              # seq 2
+    reg.compact()                            # folds 1-2 into snapshot
+    reg.record_demotion(0, 200)              # seq 3
+    # The compacting process still retains the folded events in
+    # memory, so its own replay window stays complete.
+    events, complete = reg.events_since(0)
+    assert complete
+    assert [e.seq for e in events] == [1, 2, 3]
+    # A fresh load only sees the snapshot + tail: seq 0 now predates
+    # the retention horizon and event-by-event replay is impossible.
+    reloaded = MarginRegistry(tmp_path / "fleet")
+    events, complete = reloaded.events_since(0)
+    assert not complete
+    # From the horizon on, the tail is fully retained.
+    events, complete = reloaded.events_since(2)
+    assert complete
+    assert [e.seq for e in events] == [3]

@@ -272,3 +272,50 @@ def test_smoke_campaign_other_seed_still_zero_sdc():
     assert rep.silent_corruptions == 0
     assert rep.safety_violations == 0
     assert rep.uncorrectable_errors == 0
+
+
+def test_smoke_campaign_crash_drills_recover_cleanly():
+    """PR 3 acceptance: every seeded kill-point fires exactly once and
+    recovery holds the conservative/no-lost-write/reconvergence
+    invariants at each of them."""
+    rep = run_chaos_campaign(ChaosConfig.smoke())
+    assert rep.crashes == 3
+    assert rep.recoveries == 3
+    assert rep.supervisor_restarts == 3
+    assert sorted(rep.kill_points_expected) == \
+        ["mid-checkpoint", "mid-epoch", "mid-write-mode"]
+    assert rep.kill_points == {"mid-write-mode": 1,
+                               "mid-checkpoint": 1,
+                               "mid-epoch": 1}
+    # Safety invariants: nothing durable was forgotten or invented.
+    assert rep.conservative_violations == 0
+    assert rep.lost_writes == 0
+    assert rep.reconvergence_failures == 0
+    assert rep.recovery_read_checks > 0
+    # The mid-checkpoint kill leaves a torn checkpoint the store must
+    # fall back past, and bus-fault injection exercises the bounded
+    # correction retries.
+    assert rep.checkpoint_fallbacks >= 1
+    assert rep.correction_retries > 0
+    assert rep.checkpoints_written > rep.crashes
+
+
+def test_report_fails_on_unexercised_kill_point():
+    rep = SurvivabilityReport(seed=1, duration_hours=1.0,
+                              kill_points_expected=("mid-epoch",),
+                              crashes=0, recoveries=0)
+    assert any("mid-epoch" in f for f in rep.failures())
+
+
+def test_report_fails_on_unrecovered_crash():
+    rep = SurvivabilityReport(seed=1, duration_hours=1.0,
+                              crashes=3, recoveries=2)
+    assert any("3 crashes but 2 recoveries" in f
+               for f in rep.failures())
+    rep = SurvivabilityReport(seed=1, duration_hours=1.0,
+                              conservative_violations=1)
+    assert any("conservative" in f for f in rep.failures())
+    rep = SurvivabilityReport(seed=1, duration_hours=1.0,
+                              lost_writes=2)
+    assert any("replicated writes lost" in f or "lost" in f
+               for f in rep.failures())
