@@ -10,6 +10,7 @@
     python -m repro chaos --smoke           # fault-injection campaign
     python -m repro fleet profile           # profile a fleet registry
     python -m repro recover restore         # crash recovery
+    python -m repro perf bench              # sweep benchmark + gate
     python -m repro suites                  # workload catalogue
 
 Each subcommand prints the same plain-text tables the benchmark
@@ -344,6 +345,73 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return EXIT_OK if restorable else EXIT_DOMAIN_FAILURE
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_kv
+
+    if args.perf_command == "bench":
+        from .perf import run_perf_bench
+        # Unlike the other subcommands the bench defaults to the grid
+        # seed the baseline was recorded with, not DEFAULT_SEED, so an
+        # argument-less run stays comparable to the committed baseline.
+        seed = getattr(args, "sub_seed", None)
+        if seed is None:
+            seed = args.seed
+        report = run_perf_bench(
+            refs_per_core=args.refs, workers=args.workers,
+            engine=args.engine, baseline_path=args.baseline, seed=seed,
+            include_reference=not args.no_reference,
+            drain_events=args.drain_events)
+        try:
+            path = report.write(args.out)
+        except OSError as exc:
+            print("repro perf: cannot write report: {}".format(exc),
+                  file=sys.stderr)
+            return EXIT_IO_ERROR
+        pairs = [
+            ["cells", report.n_cells],
+            ["unique simulations", report.unique_simulations],
+            ["workers (requested/used)", "{}/{}".format(
+                report.workers_requested, report.workers_used)],
+            ["engine", report.engine],
+            ["fast wall s", "{:.2f}".format(report.fast_wall_s)],
+            ["events/s", "{:.0f}".format(report.events_per_second)],
+        ]
+        if report.speedup_vs_reference is not None:
+            pairs.append(["speedup vs serial reference", "{:.2f}x"
+                          .format(report.speedup_vs_reference)])
+        if report.speedup_vs_baseline is not None:
+            pairs.append(["speedup vs recorded baseline", "{:.2f}x"
+                          .format(report.speedup_vs_baseline)])
+        for kind, d in report.drain.items():
+            pairs.append(["drain {} events/s".format(kind),
+                          "{:.0f}".format(d["events_per_second"])])
+        pairs.append(["report", str(path)])
+        pairs.append(["regressed", report.regressed])
+        print(format_kv("perf bench (fig12 sweep)", pairs))
+        return EXIT_DOMAIN_FAILURE if report.regressed else EXIT_OK
+
+    # profile
+    import cProfile
+    import pstats
+    from .cache.hierarchy import HIERARCHIES
+    from .sim import NodeConfig, simulate_node
+    config = NodeConfig(
+        suite=args.suite, hierarchy=HIERARCHIES[args.hierarchy](),
+        design=args.design, refs_per_core=args.refs,
+        memory_utilization=args.utilization, engine=args.engine,
+        seed=_resolve_seed(args))
+    profiler = cProfile.Profile()
+    profiler.enable()
+    simulate_node(config)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    try:
+        stats.sort_stats("cumulative").print_stats(args.top)
+    except BrokenPipeError:    # e.g. piped into head
+        pass
+    return EXIT_OK
+
+
 def _cmd_suites(args: argparse.Namespace) -> int:
     from .workloads import PROFILES
     rows = [[p.name, p.footprint_bytes >> 20, p.stream_fraction,
@@ -478,6 +546,50 @@ def build_parser() -> argparse.ArgumentParser:
                           help="checkpoint store directory (optional)")
     rrestore.add_argument("--node", type=int, default=0)
 
+    perf = sub.add_parser(
+        "perf", help="performance harness: sweep benchmark with "
+                     "regression gate, cProfile of one node")
+    psub = perf.add_subparsers(dest="perf_command", required=True)
+    bench = psub.add_parser(
+        "bench", parents=[common],
+        help="time the Figure 12 sweep (fast path vs serial "
+             "reference vs recorded baseline); writes "
+             "BENCH_speedup.json; exit 1 when events/sec regresses "
+             "more than 20%% below the baseline")
+    bench.add_argument("--refs", type=int, default=120,
+                       help="trace references per core and cell")
+    bench.add_argument("--workers", type=int, default=8,
+                       help="sweep worker processes (<=1 serial)")
+    bench.add_argument("--engine", default=None,
+                       choices=("heap", "calendar"),
+                       help="event-loop engine (default: REPRO_ENGINE "
+                            "or heap)")
+    bench.add_argument("--out", default=None,
+                       help="report path (default BENCH_speedup.json)")
+    bench.add_argument("--baseline", default=None,
+                       help="baseline file (default "
+                            "benchmarks/perf/baseline.json)")
+    bench.add_argument("--no-reference", action="store_true",
+                       help="skip the serial no-dedup reference pass "
+                            "(halves the bench time)")
+    bench.add_argument("--drain-events", type=int, default=100000,
+                       help="pending-drain micro-benchmark size "
+                            "(0 disables)")
+    pprofile = psub.add_parser(
+        "profile", parents=[common],
+        help="cProfile one node simulation, print the top functions "
+             "by cumulative time")
+    pprofile.add_argument("--suite", default="linpack")
+    pprofile.add_argument("--hierarchy", default="Hierarchy1",
+                          choices=("Hierarchy1", "Hierarchy2"))
+    pprofile.add_argument("--design", default="hetero-dmr")
+    pprofile.add_argument("--utilization", type=float, default=0.2)
+    pprofile.add_argument("--refs", type=int, default=3000)
+    pprofile.add_argument("--engine", default=None,
+                          choices=("heap", "calendar"))
+    pprofile.add_argument("--top", type=int, default=25,
+                          help="rows of profile output to print")
+
     sub.add_parser("suites", parents=[common],
                    help="list the workload suites")
     return parser
@@ -492,6 +604,7 @@ _HANDLERS = {
     "chaos": _cmd_chaos,
     "fleet": _cmd_fleet,
     "recover": _cmd_recover,
+    "perf": _cmd_perf,
     "suites": _cmd_suites,
 }
 

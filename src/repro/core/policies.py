@@ -35,16 +35,15 @@ def _pick_replica(channel: Channel, candidates, bank_idx: int,
     state'), then a closed bank (activate without precharge), then the
     bank that frees up first.  Letting streams colonize the copy rank's
     banks is what gives FMR its effective row-buffer doubling."""
+    pairs = channel.all_ranks()
     for flat in candidates:
-        _, rank = channel.locate_rank(flat)
-        if rank.banks[bank_idx].open_row == row:
+        if pairs[flat][1].banks[bank_idx].open_row == row:
             return flat
     for flat in candidates:
-        _, rank = channel.locate_rank(flat)
-        if rank.banks[bank_idx].open_row is None:
+        if pairs[flat][1].banks[bank_idx].open_row is None:
             return flat
-    return min(candidates, key=lambda f: channel.locate_rank(f)[1]
-               .banks[bank_idx].column_ready_ns)
+    return min(candidates,
+               key=lambda f: pairs[f][1].banks[bank_idx].column_ready_ns)
 
 
 class BaselinePolicy(AccessPolicy):
@@ -67,6 +66,7 @@ class FmrPolicy(AccessPolicy):
     name = "fmr"
     broadcast_writes = True
     uses_writeback_cache = True
+    identity_read_rank = False
 
     def read_rank(self, channel: Channel, request: ReadRequest,
                   now_ns: float) -> int:
@@ -88,6 +88,7 @@ class HeteroDMRPolicy(AccessPolicy):
     name = "hetero-dmr"
     broadcast_writes = True
     uses_writeback_cache = True
+    identity_read_rank = False
 
     def __init__(self, config: Optional[HeteroDMRConfig] = None,
                  free_module_index: int = 1,
@@ -187,9 +188,9 @@ class HeteroFmrPolicy(HeteroDMRPolicy):
         # FMR's contribution on top of Hetero-DMR is picking whichever
         # copy is "in the faster state" — i.e., whose row buffer holds
         # the row.  The home copy rank serves everything else.
+        pairs = channel.all_ranks()
         for flat in (fixed, base + (fixed - base + 1) % nfree):
-            _, rank = channel.locate_rank(flat)
-            if rank.banks[bank_idx].open_row == row:
+            if pairs[flat][1].banks[bank_idx].open_row == row:
                 return flat
         return fixed
 

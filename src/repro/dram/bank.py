@@ -10,9 +10,14 @@ changes (only the bus-clock-derived terms change).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
-from .timing import TimingParameters
+from .timing import TimingParameters, TimingTable
+
+#: Either the raw parameter set or its precomputed per-rung table; the
+#: hot paths pass :class:`TimingTable` so derived costs (tRC, burst
+#: time) are attribute loads, not per-access property recomputation.
+Timing = Union[TimingParameters, TimingTable]
 
 
 @dataclass
@@ -54,41 +59,47 @@ class Bank:
             return "hit"
         return "conflict"
 
-    def access(self, row: int, now_ns: float, timing: TimingParameters,
+    def access(self, row: int, now_ns: float, timing: Timing,
                is_write: bool) -> float:
         """Perform a read/write to ``row`` at the earliest legal time at
         or after ``now_ns``; returns the time first data appears on the
         bus.  Updates row-buffer state and timing horizons.
         """
-        kind = self.classify(row)
+        # Hot path: one classify without the extra method call, and the
+        # row-buffer state read once.
+        open_row = self.open_row
         t = now_ns
-        if kind == "conflict":
-            t = max(t, self.precharge_ready_ns)
-            t = self._precharge(t, timing)
-            kind = "closed"
-            self.stats.row_conflicts += 1
-        elif kind == "hit":
-            self.stats.row_hits += 1
+        stats = self.stats
+        if open_row == row:
+            kind_closed = False
+            stats.row_hits += 1
         else:
-            self.stats.row_misses += 1
-        if kind == "closed":
+            if open_row is not None:
+                t = max(t, self.precharge_ready_ns)
+                t = self._precharge(t, timing)
+                stats.row_conflicts += 1
+            else:
+                stats.row_misses += 1
+            kind_closed = True
+        if kind_closed:
             t = max(t, self.activate_ready_ns)
             t = self._activate(row, t, timing)
         issue = max(t, self.column_ready_ns)
-        data_at = issue + timing.tCAS_ns
+        tCAS = timing.tCAS_ns
+        data_at = issue + tCAS
         self.column_ready_ns = issue + timing.tCCD_ns
         if is_write:
             # Write recovery gates the next precharge.
             self.precharge_ready_ns = max(
                 self.precharge_ready_ns,
-                issue + timing.tCAS_ns + timing.burst_time_ns + timing.tWR_ns)
+                issue + tCAS + timing.burst_time_ns + timing.tWR_ns)
         else:
             self.precharge_ready_ns = max(
                 self.precharge_ready_ns, issue + timing.tRTP_ns)
         self.last_access_ns = issue
         return data_at
 
-    def close(self, now_ns: float, timing: TimingParameters) -> float:
+    def close(self, now_ns: float, timing: Timing) -> float:
         """Precharge the bank (no-op when already closed); returns the
         time at which the precharge completes."""
         if self.open_row is None:
@@ -96,8 +107,7 @@ class Bank:
         t = max(now_ns, self.precharge_ready_ns)
         return self._precharge(t, timing)
 
-    def _activate(self, row: int, t: float,
-                  timing: TimingParameters) -> float:
+    def _activate(self, row: int, t: float, timing: Timing) -> float:
         self.open_row = row
         self.last_activate_ns = t
         self.stats.activates += 1
@@ -108,7 +118,7 @@ class Bank:
         self.activate_ready_ns = t + timing.tRC_ns
         return t + timing.tRCD_ns
 
-    def _precharge(self, t: float, timing: TimingParameters) -> float:
+    def _precharge(self, t: float, timing: Timing) -> float:
         self.open_row = None
         self.activate_ready_ns = max(self.activate_ready_ns, t + timing.tRP_ns)
         return t + timing.tRP_ns

@@ -17,7 +17,8 @@ from typing import List, Optional, Tuple
 from .frequency import FrequencyMachine, FrequencyState
 from .module import Module
 from .rank import Rank
-from .timing import TimingParameters, manufacturer_spec_3200
+from .timing import (TimingParameters, TimingTable, manufacturer_spec_3200,
+                     timing_table)
 
 
 class SafetyViolation(Exception):
@@ -63,9 +64,31 @@ class Channel:
             return self.fast_timing
         return self.safe_timing
 
+    # Identity of the parameter set the cached table was derived from;
+    # a frequency transition (or a degradation-ladder retune / direct
+    # ``fast_timing`` assignment) changes the identity, which lazily
+    # re-derives the table from the process-wide per-rung cache.
+    _tt_params: Optional[TimingParameters] = None
+    _tt: Optional[TimingTable] = None
+
+    @property
+    def timing_table(self) -> TimingTable:
+        """Precomputed timing table for the current clock state.
+
+        This is the access paths' view of :attr:`timing`: identical
+        values, but derived costs (tCK, burst time, tRC) are computed
+        once per rung instead of once per access.
+        """
+        params = self.timing
+        if self._tt_params is not params:
+            self._tt = timing_table(params)
+            self._tt_params = params
+        return self._tt
+
     # -- rank addressing ---------------------------------------------------------
 
     _rank_cache: Optional[List[Tuple[Module, Rank]]] = None
+    _nranks: Optional[int] = None
     _last_bus_rank: Optional[Rank] = None
 
     def all_ranks(self) -> List[Tuple[Module, Rank]]:
@@ -74,13 +97,17 @@ class Channel:
         if self._rank_cache is None:
             self._rank_cache = [(m, r) for m in self.modules
                                 for r in m.ranks]
+            self._nranks = len(self._rank_cache)
         return self._rank_cache
 
     def invalidate_rank_cache(self) -> None:
         self._rank_cache = None
+        self._nranks = None
 
     def rank_count(self) -> int:
-        return len(self.all_ranks())
+        if self._nranks is None:
+            self.all_ranks()
+        return self._nranks
 
     def locate_rank(self, flat_rank: int) -> Tuple[Module, Rank]:
         """Map a flat rank index to its (module, rank)."""
@@ -101,7 +128,7 @@ class Channel:
         """
         module, rank = self.locate_rank(flat_rank)
         self._check_safety(module)
-        timing = self.timing
+        timing = self.timing_table
         if broadcast:
             if not is_write:
                 raise ValueError("only writes can be broadcast")

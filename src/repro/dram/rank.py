@@ -13,8 +13,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, List
 
-from .bank import Bank
-from .timing import TimingParameters
+from .bank import Bank, Timing
+from .timing import TimingParameters, timing_table
 
 #: DDR4 banks per rank (4 bank groups x 4 banks).
 BANKS_PER_RANK = 16
@@ -52,7 +52,7 @@ class Rank:
     # -- data access ----------------------------------------------------------
 
     def access(self, bank: int, row: int, now_ns: float,
-               timing: TimingParameters, is_write: bool) -> float:
+               timing: Timing, is_write: bool) -> float:
         """Access ``(bank, row)``; returns first-data time on the bus."""
         if self.in_self_refresh:
             raise SelfRefreshViolation(
@@ -71,8 +71,7 @@ class Rank:
             self.reads += 1
         return data_at
 
-    def _activate_gate(self, now_ns: float,
-                       timing: TimingParameters) -> float:
+    def _activate_gate(self, now_ns: float, timing: Timing) -> float:
         """Earliest time a new activate may issue (tRRD and tFAW)."""
         t = max(now_ns, self.last_activate_ns + timing.tRRD_ns)
         while self.activate_window and \
@@ -112,7 +111,7 @@ class Rank:
             bank.activate_ready_ns = max(bank.activate_ready_ns, ready)
         return ready
 
-    def refresh(self, now_ns: float, timing: TimingParameters) -> float:
+    def refresh(self, now_ns: float, timing: Timing) -> float:
         """External refresh (REF): closes all banks, blocks tRFC."""
         if self.in_self_refresh:
             raise SelfRefreshViolation(
@@ -130,6 +129,8 @@ class Rank:
 
 # A fixed timing used only to close banks on self-refresh entry; the
 # precharge period is data-rate independent at this granularity.
-_PRECHARGE_TIMING = TimingParameters(
+# Precomputed once (shared per-rung table) like every other hot-path
+# timing view.
+_PRECHARGE_TIMING = timing_table(TimingParameters(
     data_rate_mts=3200, tRCD_ns=13.75, tRP_ns=13.75, tRAS_ns=32.5,
-    tREFI_ns=7800.0)
+    tREFI_ns=7800.0))

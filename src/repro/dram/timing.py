@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from functools import lru_cache
 
 #: JEDEC DDR4 maximum standard data rate (MT/s); also the labelled rate
 #: of the paper's state-of-the-art test modules.
@@ -122,6 +123,65 @@ class TimingParameters:
         Section II-A (<16%, 16%, 9%, 92%> on <tRCD, tRP, tRAS, tREFI>)."""
         return replace(self, tRCD_ns=11.5, tRP_ns=11.0, tRAS_ns=29.5,
                        tREFI_ns=15000.0)
+
+
+class TimingTable:
+    """Precomputed per-rung timing costs (the simulator's hot-path view).
+
+    DRAM timing is piecewise-constant per operating point (AL-DRAM's
+    observation, exploited by Table II): every derived nanosecond cost a
+    bank/rank/channel access needs is a pure function of the
+    :class:`TimingParameters` in force.  The seed recomputed ``tCK_ns``
+    / ``burst_time_ns`` / ``tRC_ns`` properties on every access; a
+    ``TimingTable`` computes them once per rung and exposes *everything*
+    as plain attributes, so the access paths pay attribute loads instead
+    of property calls and divisions.
+
+    The derived values use exactly the same expressions as the
+    ``TimingParameters`` properties, so results are bit-identical.
+    Tables are shared process-wide through :func:`timing_table` (one per
+    distinct parameter set) and cached by identity on each
+    :class:`~repro.dram.channel.Channel`, invalidated only when the
+    channel's timing actually changes (frequency transition or
+    degradation-ladder retune).
+    """
+
+    __slots__ = ("params", "data_rate_mts", "tRCD_ns", "tRP_ns",
+                 "tRAS_ns", "tREFI_ns", "tCAS_ns", "tRFC_ns", "tWR_ns",
+                 "tWTR_ns", "tRTP_ns", "tRRD_ns", "tFAW_ns", "tCCD_ns",
+                 "tCK_ns", "tRC_ns", "burst_time_ns",
+                 "peak_bandwidth_gbs")
+
+    def __init__(self, params: TimingParameters):
+        self.params = params
+        self.data_rate_mts = params.data_rate_mts
+        self.tRCD_ns = params.tRCD_ns
+        self.tRP_ns = params.tRP_ns
+        self.tRAS_ns = params.tRAS_ns
+        self.tREFI_ns = params.tREFI_ns
+        self.tCAS_ns = params.tCAS_ns
+        self.tRFC_ns = params.tRFC_ns
+        self.tWR_ns = params.tWR_ns
+        self.tWTR_ns = params.tWTR_ns
+        self.tRTP_ns = params.tRTP_ns
+        self.tRRD_ns = params.tRRD_ns
+        self.tFAW_ns = params.tFAW_ns
+        self.tCCD_ns = params.tCCD_ns
+        # Same expressions as the TimingParameters properties (bit-for-
+        # bit identical floats — the perf CI gate depends on it).
+        self.tCK_ns = params.tCK_ns
+        self.tRC_ns = params.tRC_ns
+        self.burst_time_ns = params.burst_time_ns
+        self.peak_bandwidth_gbs = params.peak_bandwidth_gbs
+
+    def __repr__(self) -> str:   # pragma: no cover - debugging aid
+        return "TimingTable({!r})".format(self.params)
+
+
+@lru_cache(maxsize=None)
+def timing_table(params: TimingParameters) -> TimingTable:
+    """The shared precomputed table for ``params`` (one per rung)."""
+    return TimingTable(params)
 
 
 def manufacturer_spec_3200() -> TimingParameters:

@@ -22,10 +22,36 @@ Polynomials are represented highest-degree-coefficient-first, matching
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from functools import lru_cache
+from typing import List, Sequence, Tuple
 
 from .gf256 import (FIELD_ORDER, gf_div, gf_exp, gf_inv, gf_mul, gf_pow,
                     poly_add, poly_divmod, poly_eval, poly_mul, poly_scale)
+
+
+@lru_cache(maxsize=None)
+def _generator_poly(nparity: int) -> Tuple[int, ...]:
+    """Generator polynomial with roots alpha^0..alpha^(nparity-1),
+    highest-degree-coefficient-first (monic)."""
+    g = [1]
+    for i in range(nparity):
+        g = poly_mul(g, [1, gf_exp(i)])
+    return tuple(g)
+
+
+@lru_cache(maxsize=None)
+def _encode_rows(nparity: int) -> Tuple[Tuple[int, ...], ...]:
+    """Precomputed LFSR feedback rows for systematic encoding.
+
+    ``_encode_rows(p)[c][j] == gf_mul(generator[j + 1], c)`` — the
+    products a feedback byte ``c`` injects into each shift-register
+    cell.  Building the 256-row table once per parity width turns the
+    per-message-byte inner loop of :meth:`ReedSolomon.encode` into
+    table lookups and XORs (no ``gf_mul`` calls on the hot path).  The
+    table is shared by every codec instance with the same ``nparity``.
+    """
+    taps = _generator_poly(nparity)[1:]
+    return tuple(tuple(gf_mul(t, c) for t in taps) for c in range(256))
 
 
 class DecodeFailure(Exception):
@@ -65,23 +91,39 @@ class ReedSolomon:
         self.nparity = nparity
         self.codeword_len = message_len + nparity
         self._generator = self._build_generator(nparity)
+        self._rows = _encode_rows(nparity)
 
     @staticmethod
     def _build_generator(nparity: int) -> List[int]:
-        g = [1]
-        for i in range(nparity):
-            g = poly_mul(g, [1, gf_exp(i)])
-        return g
+        return list(_generator_poly(nparity))
 
     # -- encoding -----------------------------------------------------------
 
     def encode(self, message: Sequence[int]) -> List[int]:
-        """Return the full systematic codeword ``message + parity``."""
+        """Return the full systematic codeword ``message + parity``.
+
+        Table-driven LFSR division: each message byte's feedback term
+        indexes a precomputed generator-product row, so the inner loop
+        is XOR-and-shift only.  Produces bit-identical parity to the
+        long-division reference (:meth:`_parity_reference`)."""
         message = self._check_symbols(message, self.message_len, "message")
+        rows = self._rows
+        nparity = self.nparity
+        last = nparity - 1
+        reg = [0] * nparity
+        for m in message:
+            row = rows[m ^ reg[0]]
+            for j in range(last):
+                reg[j] = reg[j + 1] ^ row[j]
+            reg[last] = row[last]
+        return list(message) + reg
+
+    def _parity_reference(self, message: Sequence[int]) -> List[int]:
+        """Reference parity via polynomial long division — kept as the
+        equivalence oracle for the table-driven :meth:`encode`."""
         _, remainder = poly_divmod(
             list(message) + [0] * self.nparity, self._generator)
-        parity = [0] * (self.nparity - len(remainder)) + remainder
-        return list(message) + parity
+        return [0] * (self.nparity - len(remainder)) + remainder
 
     def parity_of(self, message: Sequence[int]) -> List[int]:
         """Return only the parity symbols for ``message``."""

@@ -157,9 +157,13 @@ class ChannelController:
         # writes" — not "no service"), and the bus model naturally
         # interleaves read bursts into gaps between write chunks.
         now = self.engine.now
+        # Identity policies resolve ranks inline inside the scheduler's
+        # scan loop (rank_of=None) instead of paying the read_rank call
+        # chain per candidate.
+        rank_of = None if self.policy.identity_read_rank else self._rank_of
         while self.inflight < self.max_inflight and self.read_queue:
             idx = self.scheduler.pick(self.read_queue, self.channel, now,
-                                      rank_of=self._rank_of)
+                                      rank_of=rank_of)
             if idx is None:
                 break
             req = self.read_queue.pop(idx)
@@ -299,7 +303,7 @@ class ChannelController:
     # -- refresh ----------------------------------------------------------------------
 
     def _schedule_refresh(self) -> None:
-        self.engine.schedule_in(self.channel.timing.tREFI_ns,
+        self.engine.schedule_in(self.channel.timing_table.tREFI_ns,
                                 self._do_refresh)
 
     def _do_refresh(self) -> None:
@@ -311,10 +315,11 @@ class ChannelController:
         # Skip REF while a write batch holds the channel (deferred
         # refresh, per-bank pull-in is out of scope).
         if self.mode == "read":
+            timing = self.channel.timing_table
             for module in self.channel.modules:
                 for rank in module.ranks:
                     if not rank.in_self_refresh:
-                        rank.refresh(now, self.channel.timing)
+                        rank.refresh(now, timing)
                         self.stats.refreshes += 1
         self._schedule_refresh()
 

@@ -34,20 +34,25 @@ class PagePolicy:
             raise ValueError("unknown page policy {!r}".format(self.kind))
         if self.timeout_cycles <= 0:
             raise ValueError("timeout must be positive")
+        # apply() runs once per scheduler-scanned candidate; the
+        # timeout must be an attribute load there, not a division.
+        object.__setattr__(self, "_timeout_ns",
+                           self.timeout_cycles / self.cpu_ghz)
 
     @property
     def timeout_ns(self) -> float:
-        return self.timeout_cycles / self.cpu_ghz
+        return self._timeout_ns
 
     def apply(self, bank: Bank, now_ns: float) -> None:
         """Close the bank's row if the policy would have by ``now_ns``."""
         if bank.open_row is None:
             return
-        if self.kind == "closed":
+        kind = self.kind
+        if kind == "hybrid":
+            if now_ns - bank.last_access_ns > self._timeout_ns:
+                bank.open_row = None
+        elif kind == "closed":
             self._idle_close(bank)
-        elif self.kind == "hybrid":
-            if now_ns - bank.last_access_ns > self.timeout_ns:
-                self._idle_close(bank)
 
     @staticmethod
     def _idle_close(bank: Bank) -> None:

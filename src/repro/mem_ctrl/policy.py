@@ -32,6 +32,12 @@ class AccessPolicy:
     broadcast_writes = False
     #: Route dirty evictions through the per-channel writeback cache?
     uses_writeback_cache = False
+    #: True when :meth:`read_rank` is exactly
+    #: ``location.rank % channel.rank_count()`` — the controller and
+    #: scheduler then resolve ranks inline instead of paying three
+    #: Python calls per scanned candidate.  Subclasses that override
+    #: :meth:`read_rank` must set this to False.
+    identity_read_rank = True
 
     def read_rank(self, channel: Channel, request: ReadRequest,
                   now_ns: float) -> int:

@@ -46,8 +46,10 @@ class FrFcfsScheduler:
              rank_of: "callable" = None) -> Optional[int]:
         """Return the queue index of the request to issue, or None when
         the queue is empty.  ``rank_of`` maps a request to the flat rank
-        it will actually be served from (identity by default); design
-        policies use it to redirect reads to replica ranks.
+        it will actually be served from (``location.rank`` modulo the
+        channel's rank count by default); design policies use it to
+        redirect reads to replica ranks, and identity policies pass
+        None so rank resolution stays inline in the scan loop.
 
         The queue is arrival-ordered (the event loop processes
         submissions in time order), so the oldest request is index 0;
@@ -62,12 +64,23 @@ class FrFcfsScheduler:
         prefetch_hit_idx: Optional[int] = None
         other_rank_hit_idx: Optional[int] = None
         bus_rank = channel._last_bus_rank
-        for i, req in enumerate(queue[:self.scan_window]):
-            flat_rank = rank_of(req) if rank_of else req.location.rank
-            _, rank = channel.locate_rank(flat_rank)
-            bank = rank.banks[req.location.bank]
+        # Hot loop: index the queue in place (no per-pick slice copy)
+        # and resolve ranks through the channel's cached pair list
+        # instead of a locate_rank call per candidate.
+        pairs = channel.all_ranks()
+        nranks = len(pairs)
+        limit = len(queue)
+        if limit > self.scan_window:
+            limit = self.scan_window
+        for i in range(limit):
+            req = queue[i]
+            loc = req.location
+            flat_rank = rank_of(req) if rank_of is not None \
+                else loc.rank % nranks
+            rank = pairs[flat_rank][1]
+            bank = rank.banks[loc.bank]
             apply_policy(bank, now_ns)
-            if bank.open_row == req.location.row:
+            if bank.open_row == loc.row:
                 if req.is_prefetch:
                     # Prefetch row hits yield to any demand hit.
                     if prefetch_hit_idx is None:
@@ -85,23 +98,26 @@ class FrFcfsScheduler:
             hit_idx = prefetch_hit_idx
         if hit_idx is not None:
             req = queue[hit_idx]
-            flat_rank = rank_of(req) if rank_of else req.location.rank
+            flat_rank = rank_of(req) if rank_of is not None \
+                else req.location.rank % nranks
             key = (flat_rank, req.location.bank)
             if key == self._last_bank and self._streak >= self.fairness_cap:
                 self.stats.fairness_overrides += 1
-                self._note(queue[oldest_idx], rank_of)
+                self._note(queue[oldest_idx], rank_of, nranks)
                 self.stats.oldest_picks += 1
                 return oldest_idx
             self._streak = self._streak + 1 if key == self._last_bank else 1
             self._last_bank = key
             self.stats.row_hit_picks += 1
             return hit_idx
-        self._note(queue[oldest_idx], rank_of)
+        self._note(queue[oldest_idx], rank_of, nranks)
         self.stats.oldest_picks += 1
         return oldest_idx
 
-    def _note(self, req: ReadRequest, rank_of: "callable") -> None:
-        flat_rank = rank_of(req) if rank_of else req.location.rank
+    def _note(self, req: ReadRequest, rank_of: "callable",
+              nranks: int) -> None:
+        flat_rank = rank_of(req) if rank_of is not None \
+            else req.location.rank % nranks
         key = (flat_rank, req.location.bank)
         if key == self._last_bank:
             self._streak += 1

@@ -1,0 +1,210 @@
+"""Benchmark harness behind ``repro perf bench``.
+
+Times the Figure 12 sweep three ways —
+
+* **fast**: :class:`~repro.perf.sweep.SweepRunner` with effective-cell
+  deduplication, the selected event-loop engine, and (where the host
+  has cores to spare) a process-pool fan-out;
+* **reference**: the same cell set simulated one-by-one, serially, on
+  the heap reference engine with no deduplication — the shape of the
+  sweep before this harness existed; and
+* **recorded baseline**: numbers committed in
+  ``benchmarks/perf/baseline.json`` (seed-tree serial wall time and an
+  events/sec floor), so speedup and regression are judged against a
+  fixed reference rather than whatever this checkout happens to do.
+
+The report lands in ``BENCH_speedup.json``; the events/sec regression
+gate trips when the fast path falls more than
+:data:`REGRESSION_TOLERANCE` below the recorded baseline.
+
+Also exposes :func:`drain_benchmark`, a pending-drain micro-benchmark
+that fills each engine with a deterministic pseudo-random event set and
+times schedule + drain.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..sim.engine import make_event_loop
+from .sweep import SweepConfig, SweepRunner, _run_cell
+
+#: Fractional events/sec drop vs the recorded baseline that trips the
+#: regression gate (the CI perf-smoke job fails the build on it).
+REGRESSION_TOLERANCE = 0.20
+
+#: Default location of the recorded baseline, relative to the repo root.
+DEFAULT_BASELINE = Path("benchmarks") / "perf" / "baseline.json"
+
+#: Default report filename.
+DEFAULT_REPORT = Path("BENCH_speedup.json")
+
+
+def load_baseline(path: Optional[Path] = None) -> Optional[dict]:
+    """Read the recorded baseline; None when the file is absent."""
+    path = Path(path) if path is not None else DEFAULT_BASELINE
+    if not path.exists():
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _noop() -> None:
+    return None
+
+
+def drain_benchmark(n_events: int = 100_000,
+                    horizon_ns: float = 1_000_000.0,
+                    seed: int = 20260806) -> Dict[str, dict]:
+    """Pending-drain micro-benchmark: fill each engine with the same
+    deterministic pseudo-random event set, then time schedule + drain.
+
+    Returns per-engine dicts with ``schedule_s``, ``drain_s``, and the
+    combined ``events_per_second``.
+    """
+    if n_events <= 0:
+        raise ValueError("n_events must be positive")
+    rng = random.Random(seed)
+    times = [rng.uniform(0.0, horizon_ns) for _ in range(n_events)]
+    out: Dict[str, dict] = {}
+    for kind in ("heap", "calendar"):
+        loop = make_event_loop(kind)
+        schedule = loop.schedule
+        t0 = time.perf_counter()
+        for t in times:
+            schedule(t, _noop)
+        t_schedule = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        loop.run()
+        t_drain = time.perf_counter() - t0
+        assert loop.events_processed == n_events
+        total = t_schedule + t_drain
+        out[kind] = {
+            "n_events": n_events,
+            "schedule_s": t_schedule,
+            "drain_s": t_drain,
+            "events_per_second": n_events / total if total else 0.0,
+        }
+    return out
+
+
+@dataclass
+class BenchReport:
+    """One ``repro perf bench`` outcome, serialized to
+    ``BENCH_speedup.json``."""
+    refs_per_core: int
+    n_cells: int
+    unique_simulations: int
+    workers_requested: int
+    workers_used: int
+    engine: str
+    fast_wall_s: float
+    events_processed: int
+    events_per_second: float
+    reference_wall_s: Optional[float] = None
+    speedup_vs_reference: Optional[float] = None
+    baseline_wall_s: Optional[float] = None
+    speedup_vs_baseline: Optional[float] = None
+    baseline_events_per_second: Optional[float] = None
+    regressed: bool = False
+    drain: Dict[str, dict] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "bench": "fig12_sweep",
+            "refs_per_core": self.refs_per_core,
+            "n_cells": self.n_cells,
+            "unique_simulations": self.unique_simulations,
+            "workers": {"requested": self.workers_requested,
+                        "used": self.workers_used},
+            "engine": self.engine,
+            "fast_wall_s": self.fast_wall_s,
+            "events_processed": self.events_processed,
+            "events_per_second": self.events_per_second,
+            "reference_wall_s": self.reference_wall_s,
+            "speedup_vs_reference": self.speedup_vs_reference,
+            "baseline_wall_s": self.baseline_wall_s,
+            "speedup_vs_baseline": self.speedup_vs_baseline,
+            "baseline_events_per_second": self.baseline_events_per_second,
+            "regressed": self.regressed,
+            "regression_tolerance": REGRESSION_TOLERANCE,
+            "drain": self.drain,
+        }
+
+    def write(self, path: Optional[Path] = None) -> Path:
+        path = Path(path) if path is not None else DEFAULT_REPORT
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+def _reference_pass(config: SweepConfig) -> tuple:
+    """Time the un-optimized sweep shape: every grid cell simulated
+    serially on the heap engine, no effective-cell deduplication."""
+    cells = config.cells()
+    t0 = time.perf_counter()
+    for cell in cells:
+        _run_cell((cell["suite"], cell["hierarchy"], cell["design"],
+                   cell["margin_mts"], cell["bucket"], cell["seed"],
+                   config.refs_per_core, "heap"))
+    return time.perf_counter() - t0, len(cells)
+
+
+def run_perf_bench(refs_per_core: int = 120,
+                   workers: int = 8,
+                   engine: Optional[str] = None,
+                   baseline_path: Optional[Path] = None,
+                   seed: Optional[int] = None,
+                   include_reference: bool = True,
+                   drain_events: int = 100_000) -> BenchReport:
+    """Run the Figure 12 sweep benchmark and build the report.
+
+    ``seed`` of None keeps the grid seed the recorded baseline was
+    measured with.  The recorded baseline's wall time is scaled
+    linearly in ``refs_per_core`` when the bench runs at a different
+    trace length than the baseline was recorded at (simulation work is
+    linear in the reference count, so the approximation is good; the
+    baseline file records its own ``refs_per_core``).
+    """
+    kwargs = {"refs_per_core": refs_per_core, "workers": workers,
+              "engine": engine}
+    if seed is not None:
+        kwargs["seeds"] = (seed,)
+    config = SweepConfig(**kwargs)
+    result = SweepRunner(config).run()
+    report = BenchReport(
+        refs_per_core=refs_per_core,
+        n_cells=len(result.cells),
+        unique_simulations=result.unique_simulations,
+        workers_requested=workers,
+        workers_used=result.workers_used,
+        engine=engine or "default",
+        fast_wall_s=result.wall_s,
+        events_processed=result.events_processed,
+        events_per_second=result.events_per_second,
+        drain=drain_benchmark(drain_events) if drain_events else {},
+    )
+    if include_reference:
+        ref_wall, _ = _reference_pass(config)
+        report.reference_wall_s = ref_wall
+        if result.wall_s:
+            report.speedup_vs_reference = ref_wall / result.wall_s
+    baseline = load_baseline(baseline_path)
+    if baseline:
+        scale = refs_per_core / baseline["refs_per_core"]
+        base_wall = baseline["seed_serial_wall_s"] * scale
+        report.baseline_wall_s = base_wall
+        if result.wall_s:
+            report.speedup_vs_baseline = base_wall / result.wall_s
+        floor = baseline.get("events_per_second")
+        if floor:
+            report.baseline_events_per_second = floor
+            report.regressed = (report.events_per_second <
+                                floor * (1.0 - REGRESSION_TOLERANCE))
+    return report

@@ -1,0 +1,221 @@
+"""Parallel sweep runner for node-simulation grids.
+
+Fans the cells of a (design x workload x seed) grid across a
+``ProcessPoolExecutor``, reusing the fleet profiler's determinism
+discipline (:func:`repro.fleet.profiler.node_seed`-style derived seeds,
+``pool.map`` in-task-order ingestion, serial fallback where the
+platform cannot spawn workers).  The same sweep therefore produces
+byte-identical cell results — wall-time fields aside — at any worker
+count, which CI asserts.
+
+Before dispatch, cells are *deduplicated to effective cells*: two
+cells whose configurations cannot produce different outcomes (see
+:func:`repro.sim.node.effective_design` and the experiment runner's
+key normalization) share one simulation, and the result is mirrored
+back to every aliasing cell.  On the Figure 12 grid this cuts the
+number of simulations ~2.7x, which is where most of the sweep speedup
+comes from on few-core hosts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..cache.hierarchy import HIERARCHIES
+from ..sim.node import NodeConfig, effective_design, simulate_node
+from ..sim.runner import BUCKET_UTILIZATION
+from ..workloads.registry import suite_names
+
+#: Effective designs that never leave spec timing (margin knobs inert).
+_SPEC_ONLY = ("baseline", "baseline-plain", "fmr")
+
+#: NodeResult fields copied into each cell's result record.
+_RESULT_FIELDS = (
+    "time_ns", "instructions", "dram_reads", "dram_writes",
+    "dram_write_bursts", "mean_read_latency_ns", "bus_utilization",
+    "row_hit_rate", "llc_miss_rate", "activates", "refreshes",
+    "transitions", "effective_design", "events_processed",
+    "schedule_clamped")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One sweep campaign over the node-simulation grid.
+
+    The grid is the cross product of ``suites x hierarchies x designs
+    x margins x buckets x seeds`` (baseline cells ignore margins and
+    buckets — they are normalized away).  ``workers <= 1`` runs
+    serially; larger values fan out over a process pool with identical
+    results.  ``engine`` selects the event-loop implementation for
+    every cell ("heap", "calendar", or None for the environment
+    default).
+    """
+    suites: Tuple[str, ...] = ()
+    hierarchies: Tuple[str, ...] = ("Hierarchy1", "Hierarchy2")
+    designs: Tuple[str, ...] = ("baseline", "fmr", "hetero-dmr",
+                                "hetero-dmr+fmr")
+    margins: Tuple[int, ...] = (800, 600)
+    buckets: Tuple[str, ...] = ("0-25", "25-50", "50-100")
+    seeds: Tuple[int, ...] = (12345,)
+    refs_per_core: int = 3000
+    workers: int = 0
+    engine: Optional[str] = None
+    #: Cap ``workers`` at the host's CPU count before fanning out.
+    #: Results are identical at any worker count, so the cap is purely
+    #: a performance decision — oversubscribing cores only adds pool
+    #: overhead.  Tests disable it to exercise the pool path on small
+    #: hosts.
+    cap_to_cpus: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.suites:
+            object.__setattr__(self, "suites", tuple(suite_names()))
+        if self.refs_per_core <= 0:
+            raise ValueError("refs_per_core must be positive")
+        for h in self.hierarchies:
+            if h not in HIERARCHIES:
+                raise ValueError("unknown hierarchy {!r}".format(h))
+        for b in self.buckets:
+            if b not in BUCKET_UTILIZATION:
+                raise ValueError("unknown bucket {!r}".format(b))
+
+    def cells(self) -> List[dict]:
+        """The sweep's cells in deterministic grid order."""
+        out = []
+        for hier in self.hierarchies:
+            for suite in self.suites:
+                for seed in self.seeds:
+                    for design in self.designs:
+                        if design in ("baseline", "baseline-plain"):
+                            out.append(dict(
+                                suite=suite, hierarchy=hier,
+                                design=design, margin_mts=800,
+                                bucket="0-25", seed=seed))
+                            continue
+                        for margin in self.margins:
+                            for bucket in self.buckets:
+                                out.append(dict(
+                                    suite=suite, hierarchy=hier,
+                                    design=design, margin_mts=margin,
+                                    bucket=bucket, seed=seed))
+        return out
+
+
+def cell_key(cell: dict) -> tuple:
+    """Normalized effective-cell key: cells with equal keys provably
+    produce identical simulation results."""
+    util = BUCKET_UTILIZATION[cell["bucket"]]
+    eff = effective_design(cell["design"], util)
+    if eff in _SPEC_ONLY:
+        return (cell["suite"], cell["hierarchy"], eff, None,
+                cell["seed"])
+    return (cell["suite"], cell["hierarchy"], eff, cell["margin_mts"],
+            cell["seed"])
+
+
+def _run_cell(task: Tuple) -> dict:
+    """Worker body: simulate one effective cell (top-level so it
+    pickles).  Returns outcome fields plus the cell's wall time."""
+    (suite, hierarchy, design, margin_mts, bucket, seed, refs,
+     engine) = task
+    t0 = time.perf_counter()
+    result = simulate_node(NodeConfig(
+        suite=suite, hierarchy=HIERARCHIES[hierarchy](), design=design,
+        margin_mts=margin_mts,
+        memory_utilization=BUCKET_UTILIZATION[bucket],
+        refs_per_core=refs, seed=seed, engine=engine))
+    out = {name: getattr(result, name) for name in _RESULT_FIELDS}
+    out["wall_s"] = time.perf_counter() - t0
+    return out
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep: per-cell records plus accounting."""
+    cells: List[dict]
+    unique_simulations: int
+    wall_s: float
+    workers_used: int
+    events_processed: int
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events_processed / self.wall_s if self.wall_s else 0.0
+
+    def deterministic_view(self) -> List[dict]:
+        """Cell records with wall-time fields stripped — the part that
+        must be byte-identical at any worker count."""
+        out = []
+        for cell in self.cells:
+            clean = {k: v for k, v in cell.items() if k != "wall_s"}
+            out.append(clean)
+        return out
+
+
+class SweepRunner:
+    """Runs a sweep's unique effective cells across a process pool."""
+
+    def __init__(self, config: SweepConfig):
+        self.config = config
+
+    def _unique_tasks(self, cells: List[dict]
+                      ) -> Tuple[List[Tuple], Dict[tuple, int]]:
+        """Deduplicate cells to effective-cell tasks, preserving first
+        occurrence order (deterministic at any worker count)."""
+        order: Dict[tuple, int] = {}
+        tasks: List[Tuple] = []
+        cfg = self.config
+        for cell in cells:
+            key = cell_key(cell)
+            if key in order:
+                continue
+            order[key] = len(tasks)
+            tasks.append((cell["suite"], cell["hierarchy"],
+                          cell["design"], cell["margin_mts"],
+                          cell["bucket"], cell["seed"],
+                          cfg.refs_per_core, cfg.engine))
+        return tasks, order
+
+    def _map(self, tasks: List[Tuple]) -> List[dict]:
+        """Run tasks, in order, serially or over a process pool.
+        ``pool.map`` yields in task order, so ingestion order (and
+        therefore every downstream artifact) is identical at any
+        worker count."""
+        self.workers_used = 1
+        workers = self.config.workers
+        if self.config.cap_to_cpus:
+            workers = min(workers, os.cpu_count() or 1)
+        if workers > 1 and len(tasks) > 1:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+                chunk = max(1, len(tasks) // (workers * 4))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    self.workers_used = workers
+                    return list(pool.map(_run_cell, tasks,
+                                         chunksize=chunk))
+            except (OSError, PermissionError):
+                self.workers_used = 1   # sandboxed: fall back to serial
+        return [_run_cell(task) for task in tasks]
+
+    def run(self) -> SweepResult:
+        """Execute the sweep; returns per-cell records in grid order."""
+        cells = self.config.cells()
+        tasks, order = self._unique_tasks(cells)
+        t0 = time.perf_counter()
+        outcomes = self._map(tasks)
+        wall = time.perf_counter() - t0
+        records = []
+        for cell in cells:
+            outcome = outcomes[order[cell_key(cell)]]
+            record = dict(cell)
+            record.update(outcome)
+            records.append(record)
+        events = sum(o["events_processed"] for o in outcomes)
+        return SweepResult(cells=records,
+                           unique_simulations=len(tasks),
+                           wall_s=wall,
+                           workers_used=self.workers_used,
+                           events_processed=events)

@@ -36,7 +36,7 @@ from ..mem_ctrl.controller import MemoryController
 from ..mem_ctrl.policy import AccessPolicy
 from ..workloads.base import TraceGenerator
 from ..workloads.registry import get_profile
-from .engine import EventLoop
+from .engine import EventLoop, make_event_loop
 
 #: Designs understood by the simulator.
 DESIGNS = ("baseline", "baseline-plain", "fmr", "hetero-dmr",
@@ -45,6 +45,29 @@ DESIGNS = ("baseline", "baseline-plain", "fmr", "hetero-dmr",
 #: Core-side advance quantum: a core may run at most this far ahead of
 #: global time before yielding to the event loop.
 ADVANCE_QUANTUM_NS = 500.0
+
+
+def effective_design(design: str, memory_utilization: float) -> str:
+    """Resolve a configured design against memory utilization:
+    replication-based designs regress to the baseline (or to plain
+    Hetero-DMR) when free memory runs out (Sections III-E, IV-A).
+
+    This mapping is the ONLY way ``memory_utilization`` influences a
+    node simulation — two configs that agree on everything else and on
+    the effective design produce identical results.  The experiment
+    runner's cell-dedup cache relies on exactly that invariant.
+    """
+    if design == "hetero-dmr+fmr":
+        if memory_utilization < DUAL_COPY_UTILIZATION_LIMIT:
+            return "hetero-dmr+fmr"
+        if memory_utilization < REPLICATION_UTILIZATION_LIMIT:
+            return "hetero-dmr"
+        return "baseline"
+    if design in ("hetero-dmr", "fmr"):
+        if memory_utilization < REPLICATION_UTILIZATION_LIMIT:
+            return design
+        return "baseline"
+    return design
 
 
 @dataclass(frozen=True)
@@ -68,6 +91,10 @@ class NodeConfig:
     #: (chaos-campaign knob; 0 disables the fault model entirely).
     transition_fault_rate: float = 0.0
     mlp_limit: int = 16
+    #: Event-loop implementation: "heap", "calendar", or None to defer
+    #: to the ``REPRO_ENGINE`` environment variable.  Both engines
+    #: produce identical results; this only selects the scheduler.
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.transition_fault_rate <= 1.0:
@@ -84,6 +111,9 @@ class NodeConfig:
                              "channel")
         if self.refs_per_core <= 0:
             raise ValueError("refs_per_core must be positive")
+        if self.engine not in (None, "heap", "calendar"):
+            raise ValueError("unknown engine {!r}; valid: heap, "
+                             "calendar".format(self.engine))
 
 
 @dataclass
@@ -109,6 +139,10 @@ class NodeResult:
     effective_design: str
     failed_transitions: int = 0
     read_retries: int = 0
+    #: Engine accounting (perf harness): events the loop processed and
+    #: schedule() calls whose past-due time was clamped to now.
+    events_processed: int = 0
+    schedule_clamped: int = 0
 
     @property
     def ipc(self) -> float:
@@ -135,7 +169,7 @@ class NodeSimulation:
 
     def __init__(self, config: NodeConfig):
         self.config = config
-        self.engine = EventLoop()
+        self.engine = make_event_loop(config.engine)
         hier = config.hierarchy
         self.hierarchy = CacheHierarchy(hier)
         self.effective_design = self._effective_design()
@@ -202,22 +236,8 @@ class NodeSimulation:
     # -- construction ----------------------------------------------------------------
 
     def _effective_design(self) -> str:
-        """Resolve the configured design against memory utilization:
-        replication-based designs regress to the baseline (or to plain
-        Hetero-DMR) when free memory runs out (Sections III-E, IV-A)."""
-        cfg = self.config
-        util = cfg.memory_utilization
-        if cfg.design == "hetero-dmr+fmr":
-            if util < DUAL_COPY_UTILIZATION_LIMIT:
-                return "hetero-dmr+fmr"
-            if util < REPLICATION_UTILIZATION_LIMIT:
-                return "hetero-dmr"
-            return "baseline"
-        if cfg.design in ("hetero-dmr", "fmr"):
-            if util < REPLICATION_UTILIZATION_LIMIT:
-                return cfg.design
-            return "baseline"
-        return cfg.design
+        return effective_design(self.config.design,
+                                self.config.memory_utilization)
 
     def _channel_margin(self, channel_index: int) -> int:
         if self.config.channel_margins is not None:
@@ -461,6 +481,8 @@ class NodeSimulation:
             effective_design=self.effective_design,
             failed_transitions=failed_transitions,
             read_retries=read_retries,
+            events_processed=self.engine.events_processed,
+            schedule_clamped=self.engine.schedule_clamped,
         )
 
 

@@ -318,3 +318,35 @@ def test_fleet_profile_crash_after_then_recover(tmp_path):
         (tmp_path / "ref" / "snapshot.json").read_bytes()
     assert (reg / "events.jsonl").read_bytes() == \
         (tmp_path / "ref" / "events.jsonl").read_bytes()
+
+
+def test_perf_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main(["perf"])
+
+
+def test_perf_profile_command(capsys):
+    assert main(["perf", "profile", "--suite", "linpack",
+                 "--refs", "150", "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "cumulative" in out
+    assert "function calls" in out
+
+
+def test_perf_bench_parser_wiring():
+    args = build_parser().parse_args(
+        ["perf", "bench", "--refs", "30", "--workers", "2",
+         "--engine", "calendar", "--no-reference",
+         "--drain-events", "0"])
+    assert args.command == "perf"
+    assert args.perf_command == "bench"
+    assert args.refs == 30
+    assert args.workers == 2
+    assert args.engine == "calendar"
+    assert args.no_reference is True
+    assert args.drain_events == 0
+
+
+def test_perf_bench_rejects_bad_engine():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["perf", "bench", "--engine", "wheel"])

@@ -46,7 +46,7 @@ def test_public_modules_have_docstrings():
                  "repro.characterization", "repro.cache",
                  "repro.mem_ctrl", "repro.cpu", "repro.energy",
                  "repro.analysis", "repro.recovery",
-                 "repro.resilience"):
+                 "repro.resilience", "repro.perf"):
         mod = importlib.import_module(name)
         assert mod.__doc__, name
 
@@ -58,7 +58,7 @@ def test_public_classes_documented():
     import inspect
     for pkg_name in ("repro.core", "repro.ecc", "repro.fleet",
                      "repro.hpc", "repro.errors", "repro.sim",
-                     "repro.dram", "repro.recovery"):
+                     "repro.dram", "repro.recovery", "repro.perf"):
         pkg = importlib.import_module(pkg_name)
         for name in getattr(pkg, "__all__", []):
             obj = getattr(pkg, name)

@@ -155,3 +155,24 @@ def test_other_shapes_roundtrip():
         for q in rng.sample(range(k + p), p // 2):
             cw[q] ^= rng.randrange(1, 256)
         assert rs.decode(cw).corrected == msg
+
+
+def test_table_encode_matches_long_division_reference():
+    # The table-driven LFSR encode must be bit-identical to polynomial
+    # long division for every parity width the codecs use.
+    rng = random.Random(20260805)
+    for nparity in (1, 2, 4, 8, 16):
+        rs = ReedSolomon(32, nparity)
+        for _ in range(25):
+            msg = [rng.randrange(256) for _ in range(32)]
+            assert rs.encode(msg)[32:] == rs._parity_reference(msg)
+
+
+def test_encode_rows_are_generator_products():
+    from repro.ecc.gf256 import gf_mul
+    from repro.ecc.reed_solomon import _encode_rows
+    rs = ReedSolomon(64, 8)
+    rows = _encode_rows(8)
+    assert len(rows) == 256
+    for c in (0, 1, 2, 87, 255):
+        assert list(rows[c]) == [gf_mul(g, c) for g in rs._generator[1:]]

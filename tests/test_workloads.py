@@ -1,0 +1,27 @@
+"""Tests for batched trace generation (RNG-stream equivalence)."""
+
+import pytest
+
+from repro.workloads.base import TraceGenerator
+from repro.workloads.registry import get_profile
+
+
+def test_records_batched_matches_records_stream():
+    gen = TraceGenerator(get_profile("linpack"), core_id=3, seed=42)
+    flat = list(gen.records(1000))
+    batches = list(gen.records_batched(1000, batch_size=64))
+    assert [r for b in batches for r in b] == flat
+    assert all(len(b) == 64 for b in batches[:-1])
+    assert len(batches[-1]) in (1000 % 64, 64)
+
+
+def test_records_batched_default_chunking():
+    gen = TraceGenerator(get_profile("hpcg"), core_id=0, seed=5)
+    batches = list(gen.records_batched(600))
+    assert [len(b) for b in batches] == [256, 256, 88]
+
+
+def test_records_batched_rejects_bad_batch_size():
+    gen = TraceGenerator(get_profile("linpack"))
+    with pytest.raises(ValueError):
+        list(gen.records_batched(10, batch_size=0))
