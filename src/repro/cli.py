@@ -11,6 +11,7 @@
     python -m repro fleet profile           # profile a fleet registry
     python -m repro recover restore         # crash recovery
     python -m repro perf bench              # sweep benchmark + gate
+    python -m repro obs trace               # deterministic trace run
     python -m repro suites                  # workload catalogue
 
 Each subcommand prints the same plain-text tables the benchmark
@@ -412,6 +413,123 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _obs_run_scenario(name: str, seed: int, recorder) -> bool:
+    """Run one instrumented scenario under ``recorder``; returns the
+    domain verdict (``False`` means the scenario itself FAILed)."""
+    from .obs import recording
+    with recording(recorder):
+        if name == "node":
+            from .cache.hierarchy import HIERARCHIES
+            from .sim import NodeConfig, simulate_node
+            # Two operating points so the trace exercises both event
+            # families: low utilization speeds the channel up
+            # (frequency transitions), higher utilization queues
+            # enough writes to batch (write-mode spans).
+            for suite, util in (("linpack", 0.2), ("lulesh", 0.5)):
+                simulate_node(NodeConfig(
+                    suite=suite,
+                    hierarchy=HIERARCHIES["Hierarchy1"](),
+                    design="hetero-dmr+fmr", refs_per_core=2000,
+                    memory_utilization=util, seed=seed))
+            return True
+        # chaos-smoke
+        import dataclasses
+        from .resilience import ChaosConfig, run_chaos_campaign
+        config = dataclasses.replace(ChaosConfig.smoke(), seed=seed)
+        return run_chaos_campaign(config).passed()
+
+
+def _obs_summarize(events: List[dict]) -> str:
+    """Per-(subsystem, event) counts and time spans for a trace."""
+    from .analysis.reporting import format_kv
+    spans: dict = {}
+    for ev in events:
+        key = (str(ev["subsystem"]), str(ev["event"]))
+        t = float(ev["t_ns"])
+        count, first, last = spans.get(key, (0, t, t))
+        spans[key] = (count + 1, min(first, t), max(last, t))
+    rows = [[sub, name, count, "{:.0f}".format(first),
+             "{:.0f}".format(last)]
+            for (sub, name), (count, first, last) in sorted(spans.items())]
+    out = format_table(
+        ["subsystem", "event", "count", "first t_ns", "last t_ns"],
+        rows, title="trace summary ({} events)".format(len(events)))
+    out += "\n" + format_kv("totals", [
+        ["events", len(events)],
+        ["series", len(spans)]])
+    return out
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_kv
+    from .obs import (JsonlTraceSink, MemoryTraceSink, Recorder,
+                      read_trace, to_json, to_prometheus)
+    seed = _resolve_seed(args)
+
+    if args.obs_command == "trace":
+        try:
+            sink = JsonlTraceSink(args.out)
+        except OSError as exc:
+            print("repro obs: cannot open trace file: {}".format(exc),
+                  file=sys.stderr)
+            return EXIT_IO_ERROR
+        try:
+            ok = _obs_run_scenario(args.scenario, seed,
+                                   Recorder(trace=sink))
+        finally:
+            sink.close()
+        print(format_kv("obs trace", [
+            ["scenario", args.scenario], ["seed", seed],
+            ["trace", args.out], ["events", sink.events_emitted],
+            ["scenario passed", ok]]))
+        return EXIT_OK if ok and sink.events_emitted \
+            else EXIT_DOMAIN_FAILURE
+
+    if args.obs_command == "export":
+        recorder = Recorder()
+        ok = _obs_run_scenario(args.scenario, seed, recorder)
+        text = to_prometheus(recorder.snapshot()) \
+            if args.format == "prometheus" \
+            else to_json(recorder.snapshot())
+        if args.out:
+            try:
+                with open(args.out, "w") as fh:
+                    fh.write(text)
+            except OSError as exc:
+                print("repro obs: cannot write metrics: {}".format(exc),
+                      file=sys.stderr)
+                return EXIT_IO_ERROR
+            print("metrics: {}".format(args.out))
+        else:
+            print(text, end="")
+        return EXIT_OK if ok else EXIT_DOMAIN_FAILURE
+
+    # summary
+    if args.trace_file is not None:
+        try:
+            events = read_trace(args.trace_file)
+        except OSError as exc:
+            print("repro obs: cannot read trace: {}".format(exc),
+                  file=sys.stderr)
+            return EXIT_IO_ERROR
+        except ValueError as exc:
+            print("repro obs: {}".format(exc), file=sys.stderr)
+            return EXIT_IO_ERROR
+    elif args.scenario is not None:
+        sink = MemoryTraceSink()
+        _obs_run_scenario(args.scenario, seed, Recorder(trace=sink))
+        events = sink.events
+    else:
+        print("repro obs: summary needs --trace-file or --scenario",
+              file=sys.stderr)
+        return EXIT_DOMAIN_FAILURE
+    try:
+        print(_obs_summarize(events))
+    except BrokenPipeError:    # e.g. piped into head
+        pass
+    return EXIT_OK if events else EXIT_DOMAIN_FAILURE
+
+
 def _cmd_suites(args: argparse.Namespace) -> int:
     from .workloads import PROFILES
     rows = [[p.name, p.footprint_bytes >> 20, p.stream_fraction,
@@ -590,6 +708,39 @@ def build_parser() -> argparse.ArgumentParser:
     pprofile.add_argument("--top", type=int, default=25,
                           help="rows of profile output to print")
 
+    obs = sub.add_parser(
+        "obs", help="observability: deterministic lifecycle traces, "
+                    "metrics exporters, trace summaries")
+    osub = obs.add_subparsers(dest="obs_command", required=True)
+    scenarios = ("chaos-smoke", "node")
+    otrace = osub.add_parser(
+        "trace", parents=[common],
+        help="run a seeded scenario with tracing on; the JSONL trace "
+             "is byte-identical for the same scenario and seed")
+    otrace.add_argument("--scenario", default="chaos-smoke",
+                        choices=scenarios)
+    otrace.add_argument("--out", default="obs-trace.jsonl",
+                        help="trace file path")
+    oexport = osub.add_parser(
+        "export", parents=[common],
+        help="run a seeded scenario and export its metrics snapshot")
+    oexport.add_argument("--scenario", default="chaos-smoke",
+                         choices=scenarios)
+    oexport.add_argument("--format", default="prometheus",
+                         choices=("prometheus", "json"))
+    oexport.add_argument("--out", default=None,
+                         help="metrics file (stdout when omitted)")
+    osummary = osub.add_parser(
+        "summary", parents=[common],
+        help="per-event counts and time spans of a trace (from "
+             "--trace-file, or traced live with --scenario)")
+    osummary.add_argument("--trace-file", default=None,
+                          help="existing JSONL trace to summarize")
+    osummary.add_argument("--scenario", default=None,
+                          choices=scenarios,
+                          help="run this scenario instead of reading "
+                               "a file")
+
     sub.add_parser("suites", parents=[common],
                    help="list the workload suites")
     return parser
@@ -605,6 +756,7 @@ _HANDLERS = {
     "fleet": _cmd_fleet,
     "recover": _cmd_recover,
     "perf": _cmd_perf,
+    "obs": _cmd_obs,
     "suites": _cmd_suites,
 }
 

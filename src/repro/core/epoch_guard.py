@@ -20,6 +20,7 @@ from typing import Dict
 
 from ..ecc.policy import sdc_epoch_threshold
 from ..ecc.reed_solomon import undetected_error_probability
+from ..obs import get_recorder
 
 NS_PER_HOUR = 3_600_000_000_000.0
 
@@ -57,6 +58,12 @@ class EpochGuard:
             self.errors_this_epoch = 0
             self.epochs_rolled += epochs_elapsed
             self._tripped = False
+            rec = get_recorder()
+            if rec.enabled:
+                rec.counter("epoch", "rolls", epochs_elapsed)
+                rec.event("epoch", "epoch_roll", self._max_now_ns,
+                          epochs_elapsed=epochs_elapsed,
+                          epoch_start_ns=self._epoch_start_ns)
 
     def record_error(self, now_ns: float, count: int = 1) -> None:
         """Count ``count`` detected errors at time ``now_ns``."""
@@ -68,6 +75,12 @@ class EpochGuard:
         if not self._tripped and self.errors_this_epoch > self.threshold:
             self._tripped = True
             self.tripped_epochs += 1
+            rec = get_recorder()
+            if rec.enabled:
+                rec.counter("epoch", "trips")
+                rec.event("epoch", "epoch_trip", now_ns,
+                          errors_this_epoch=self.errors_this_epoch,
+                          threshold=self.threshold)
 
     def margin_allowed(self, now_ns: float) -> bool:
         """May the system run faster than spec right now?"""

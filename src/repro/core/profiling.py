@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..characterization.modules import SyntheticModule
 from ..characterization.testbench import BootFailure, TestMachine
@@ -54,7 +54,8 @@ class NodeMarginProfiler:
 
     def __init__(self, machine: Optional[TestMachine] = None,
                  guard_band_mts: int = 0,
-                 reprofile_interval_s: float = 7 * 24 * 3600.0):
+                 reprofile_interval_s: float = 7 * 24 * 3600.0,
+                 clock: Optional[Callable[[], float]] = None):
         if guard_band_mts < 0:
             raise ValueError("guard band must be non-negative")
         self.machine = machine or TestMachine()
@@ -63,6 +64,13 @@ class NodeMarginProfiler:
         self.last_profile: Optional[NodeProfile] = None
         self.profiles_run = 0
         self.failed_attempts = 0
+        # Profile stamps order profiles (needs_reprofile, registry
+        # freshness); wall clock steps backwards under NTP, so the
+        # default stamp source is the monotonic clock, and stamps are
+        # clamped to the high-water mark so ordering can never invert
+        # even with an injected (or explicitly passed) time source.
+        self._clock = clock if clock is not None else _time.monotonic
+        self._last_stamp_s = float("-inf")
 
     def profile(self, channels: Sequence[Sequence[SyntheticModule]],
                 now_s: Optional[float] = None) -> NodeProfile:
@@ -80,11 +88,15 @@ class NodeMarginProfiler:
             ch_margins.append(channel_margin(margins, margin_aware=True))
         node = node_margin(ch_margins)
         node = snap_to_step(max(0, node - self.guard_band_mts))
+        stamp = now_s if now_s is not None else self._clock()
+        if stamp < self._last_stamp_s:
+            stamp = self._last_stamp_s
+        self._last_stamp_s = stamp
         profile = NodeProfile(
             per_module_margins=per_module,
             channel_margins=ch_margins,
             node_margin_mts=node,
-            profiled_at_s=now_s if now_s is not None else _time.time())
+            profiled_at_s=stamp)
         self.last_profile = profile
         self.profiles_run += 1
         return profile

@@ -22,6 +22,8 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from ..obs import get_recorder
+
 #: Total latency of one frequency transition (Section III-A1).
 TRANSITION_NS = 1000.0
 
@@ -137,6 +139,14 @@ class FrequencyMachine:
         self.history.append(TransitionRecord(
             start_ns=now_ns, end_ns=t, from_state=expect, to_state=target,
             steps=tuple(steps), retried=retried))
+        rec = get_recorder()
+        if rec.enabled:
+            rec.counter("freq", "transitions", direction=target.value)
+            if retried:
+                rec.counter("freq", "failed_transitions")
+            rec.event("freq", "transition", now_ns,
+                      from_state=expect.value, to_state=target.value,
+                      end_ns=t, retried=retried)
         return t
 
     @property

@@ -52,8 +52,13 @@ class ModuleErrorLog:
         self._trim(time_ns)
 
     def _trim(self, now_ns: float) -> None:
+        """Evict events outside the half-open window
+        ``(now - window_ns, now]``: an event exactly ``window_ns`` old
+        has aged out (keeping it would make the window one instant
+        wider than configured, and a rate sampled exactly one window
+        after a burst would still count the burst)."""
         horizon = now_ns - self.window_ns
-        while self._events and self._events[0].time_ns < horizon:
+        while self._events and self._events[0].time_ns <= horizon:
             self._events.popleft()
 
     def rate_per_hour(self, now_ns: float,

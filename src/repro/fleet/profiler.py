@@ -28,6 +28,7 @@ from ..analysis.reporting import format_kv
 from ..characterization.modules import ModulePopulation
 from ..characterization.testbench import TestMachine
 from ..core.profiling import NodeMarginProfiler
+from ..obs import get_recorder
 from .registry import MarginRegistry
 
 #: Primes decorrelating per-node seeds from the fleet seed.
@@ -241,9 +242,15 @@ class FleetProfiler:
         profiling_s = 0.0
         failed_nodes: List[int] = []
         ingested = 0
+        rec = get_recorder()
         for result in self._stream(self._tasks(indices), progress):
             attempts += result["attempts"]
             profiling_s += result["elapsed_s"]
+            if rec.enabled:
+                rec.counter("fleet", "nodes_profiled" if result["ok"]
+                            else "nodes_failed")
+                rec.observe("fleet", "profile_latency_s",
+                            result["elapsed_s"])
             if result["ok"]:
                 self.registry.record_profile(
                     result["node"], result["margin_mts"], time_s=now_s,

@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.margin_selection import bucket_node_margin
+from ..obs import get_recorder
 
 #: Allowed event kinds, in documentation order.
 EVENT_KINDS = ("profile", "demote", "promote", "retire", "thermal")
@@ -296,6 +297,10 @@ class MarginRegistry:
             with open(self.events_path, "a") as fh:
                 fh.write(event.to_json() + "\n")
                 fh.flush()
+        rec = get_recorder()
+        if rec.enabled:
+            rec.counter("registry", "events", kind=kind)
+            rec.gauge("registry", "last_seq", self.last_seq)
         return event
 
     def record_profile(self, node: int, margin_mts: int,

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..dram.channel import Channel
 from ..dram.frequency import FrequencyState
+from ..obs import get_recorder
 from .address_map import AddressMapping, MemLocation
 from .page_policy import PagePolicy
 from .policy import AccessPolicy
@@ -200,6 +201,15 @@ class ChannelController:
         self.stats.write_mode_entries += 1
         self._write_mode_started_ns = self.engine.now
         now = self.engine.now
+        rec = get_recorder()
+        if rec.enabled:
+            rec.counter("mem_ctrl", "write_mode_entries",
+                        channel=self.channel.index)
+            rec.event("mem_ctrl", "write_mode_enter", now,
+                      channel=self.channel.index,
+                      read_queue_depth=len(self.read_queue),
+                      write_queue_depth=len(self.write_queue),
+                      full_drain=force_full_drain)
         # Let already-inflight reads finish while the switch happens.
         start = self.policy.enter_write_mode(self.channel, now)
 
@@ -296,8 +306,12 @@ class ChannelController:
 
     def _exit_write_mode(self) -> None:
         self.mode = "read"
-        self.stats.write_mode_time_ns += (self.engine.now -
-                                          self._write_mode_started_ns)
+        span_ns = self.engine.now - self._write_mode_started_ns
+        self.stats.write_mode_time_ns += span_ns
+        rec = get_recorder()
+        if rec.enabled:
+            rec.event("mem_ctrl", "write_mode_exit", self.engine.now,
+                      channel=self.channel.index, span_ns=span_ns)
         self._pump()
 
     # -- refresh ----------------------------------------------------------------------

@@ -1,0 +1,22 @@
+"""Unified observability layer (DESIGN.md §12).
+
+``repro.obs`` is the repo's single telemetry spine: a metrics
+:class:`Recorder` (counters, gauges, histogram timers keyed by
+``(subsystem, name, labels)``), span-style lifecycle tracing to a
+deterministic JSONL sink, and exporters (Prometheus text format, JSON
+snapshot).  The default :class:`NullRecorder` keeps every instrumented
+path a no-op; ``repro obs {trace,export,summary}`` is the CLI surface.
+"""
+
+from .export import to_json, to_prometheus
+from .recorder import (DEFAULT_BUCKETS, NullRecorder, Recorder,
+                       get_recorder, recording, set_recorder)
+from .trace import (JsonlTraceSink, MemoryTraceSink, NullTraceSink,
+                    read_trace)
+
+__all__ = [
+    "DEFAULT_BUCKETS", "JsonlTraceSink", "MemoryTraceSink",
+    "NullRecorder", "NullTraceSink", "Recorder", "get_recorder",
+    "read_trace", "recording", "set_recorder", "to_json",
+    "to_prometheus",
+]

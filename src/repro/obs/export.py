@@ -1,0 +1,102 @@
+"""Exporters: Prometheus text format and a canonical JSON snapshot.
+
+Both operate on :meth:`repro.obs.recorder.Recorder.snapshot` output, so
+they can also serialize snapshots that crossed a process boundary.
+Series order is inherited from the snapshot (sorted), making both
+formats deterministic for a seeded run.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List
+
+__all__ = ["to_prometheus", "to_json"]
+
+#: Prefix namespacing every exported metric.
+METRIC_PREFIX = "repro"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(subsystem: str, name: str, suffix: str = "") -> str:
+    return _NAME_RE.sub("_", "{}_{}_{}{}".format(
+        METRIC_PREFIX, subsystem, name, suffix))
+
+
+def _label_str(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join('{}="{}"'.format(
+        _NAME_RE.sub("_", k),
+        str(v).replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0`` (the
+    common case for counters), floats via ``repr`` (shortest exact)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(snapshot: Dict[str, List[dict]]) -> str:
+    """Prometheus text exposition format (version 0.0.4).
+
+    Counters gain the conventional ``_total`` suffix; histograms emit
+    cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``,
+    with ``min``/``max`` as companion gauges.
+    """
+    lines: List[str] = []
+    typed = set()
+
+    def _header(full: str, kind: str) -> None:
+        if full not in typed:
+            typed.add(full)
+            lines.append("# TYPE {} {}".format(full, kind))
+
+    for row in snapshot.get("counters", []):
+        full = _metric_name(row["subsystem"], row["name"], "_total")
+        _header(full, "counter")
+        lines.append("{}{} {}".format(full, _label_str(row["labels"]),
+                                      _fmt(row["value"])))
+    for row in snapshot.get("gauges", []):
+        full = _metric_name(row["subsystem"], row["name"])
+        _header(full, "gauge")
+        lines.append("{}{} {}".format(full, _label_str(row["labels"]),
+                                      _fmt(row["value"])))
+    for row in snapshot.get("histograms", []):
+        full = _metric_name(row["subsystem"], row["name"])
+        _header(full, "histogram")
+        labels = dict(row["labels"])
+        # Recorder bucket counts are already cumulative (each
+        # observation lands in every bucket it fits under).
+        for bound, count in row["buckets"]:
+            lines.append("{}_bucket{} {}".format(
+                full, _label_str(dict(labels, le=_fmt(bound))),
+                _fmt(count)))
+        lines.append("{}_bucket{} {}".format(
+            full, _label_str(dict(labels, le="+Inf")),
+            _fmt(row["count"])))
+        lines.append("{}_sum{} {}".format(full, _label_str(labels),
+                                          repr(float(row["sum"]))))
+        lines.append("{}_count{} {}".format(full, _label_str(labels),
+                                            _fmt(row["count"])))
+        if row["count"]:
+            for stat in ("min", "max"):
+                stat_full = _metric_name(row["subsystem"],
+                                         row["name"] + "_" + stat)
+                _header(stat_full, "gauge")
+                lines.append("{}{} {}".format(
+                    stat_full, _label_str(labels),
+                    repr(float(row[stat]))))
+    return "".join(line + "\n" for line in lines)
+
+
+def to_json(snapshot: Dict[str, List[dict]]) -> str:
+    """Canonical JSON snapshot (sorted keys, trailing newline)."""
+    return json.dumps(snapshot, sort_keys=True,
+                      separators=(",", ":")) + "\n"

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 from ..core.epoch_guard import EpochGuard
 from ..errors.telemetry import MarginAdvisor
 from ..fleet.registry import MarginRegistry, RegistryEvent
+from ..obs import get_recorder
 from .checkpoint import Checkpoint, CheckpointStore
 
 if TYPE_CHECKING:   # real imports are deferred into method bodies so
@@ -104,6 +105,11 @@ class RecoveryManager:
                           state=state)
         self.store.write(ckpt)
         self.checkpoints_written += 1
+        rec = get_recorder()
+        if rec.enabled:
+            rec.counter("recovery", "checkpoints")
+            rec.event("recovery", "checkpoint", now_ns, seq=seq,
+                      node=self.node)
         return ckpt
 
     def capture(self, guard: EpochGuard,
@@ -122,24 +128,33 @@ class RecoveryManager:
         back past corrupt ones) plus the registry WAL replayed from the
         checkpoint's sequence number.  Pure read — call it once and
         rebuild every runtime object from the result."""
-        ckpt, fallbacks = self.store.load_latest()
-        ladder = self._ladder_for(ckpt)
-        replayed = 0
-        wal_rung: Optional[int] = None
-        wal_retired = False
-        complete = True
-        if self.registry is not None:
-            seq = ckpt.seq if ckpt is not None else 0
-            events, complete = self.registry.events_since(
-                seq, node=self.node)
-            if complete:
-                replayed = len(events)
-                wal_rung, wal_retired = self._replay(ladder, events)
-            else:
-                # Events between the checkpoint and the snapshot fold
-                # are gone; the replayed NodeRecord *is* their net
-                # effect — use it as the durable cap.
-                wal_rung, wal_retired = self._from_record(ladder)
+        rec = get_recorder()
+        with rec.timer("recovery", "restore_s"):
+            ckpt, fallbacks = self.store.load_latest()
+            ladder = self._ladder_for(ckpt)
+            replayed = 0
+            wal_rung: Optional[int] = None
+            wal_retired = False
+            complete = True
+            if self.registry is not None:
+                seq = ckpt.seq if ckpt is not None else 0
+                events, complete = self.registry.events_since(
+                    seq, node=self.node)
+                if complete:
+                    replayed = len(events)
+                    wal_rung, wal_retired = self._replay(ladder, events)
+                else:
+                    # Events between the checkpoint and the snapshot
+                    # fold are gone; the replayed NodeRecord *is* their
+                    # net effect — use it as the durable cap.
+                    wal_rung, wal_retired = self._from_record(ladder)
+        if rec.enabled:
+            rec.counter("recovery", "restores")
+            rec.counter("recovery", "events_replayed", replayed)
+            rec.event("recovery", "restore",
+                      ckpt.time_ns if ckpt is not None else 0.0,
+                      node=self.node, replayed_events=replayed,
+                      fallbacks=fallbacks, wal_complete=complete)
         return RecoveredState(node=self.node, checkpoint=ckpt,
                               fallbacks=fallbacks,
                               replayed_events=replayed,

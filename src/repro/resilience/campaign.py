@@ -59,6 +59,7 @@ from ..hpc.job import Job
 from ..hpc.scheduler import (EasyBackfillScheduler,
                              MarginAwareAllocationPolicy)
 from ..hpc.simulator import PerformanceModel, SystemSimulator
+from ..obs import get_recorder
 from ..recovery import CheckpointStore, NodeSupervisor, RecoveryManager
 from ..sim.runner import ExperimentRunner
 from .degradation import (DegradationController, LadderEvent, LadderRung,
@@ -369,6 +370,12 @@ class ChaosCampaign:
         else:
             hit = []   # recovery: fault-free window
         self._dirty.update(hit)
+        if hit:
+            rec = get_recorder()
+            if rec.enabled:
+                rec.counter("chaos", "injections", len(hit))
+                rec.event("chaos", "chaos_inject", now_ns,
+                          count=len(hit), frac=frac)
         # Repeat-address permanent fault: the same address in the same
         # module corrupts every step until the controller remaps it.
         if self._in_span(frac, cfg.permanent_span):
@@ -433,6 +440,11 @@ class ChaosCampaign:
         report.crashes += 1
         report.kill_points[kill_point] = \
             report.kill_points.get(kill_point, 0) + 1
+        rec = get_recorder()
+        if rec.enabled:
+            rec.counter("chaos", "crash_restarts", kill_point=kill_point)
+            rec.event("chaos", "crash_restart", now_ns,
+                      kill_point=kill_point)
         decision = self.supervisor.report_crash(now_ns,
                                                 reason=kill_point)
         self._ladder_events_carry.extend(self.controller.events)

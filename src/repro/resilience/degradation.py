@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 from ..core.profiling import NodeMarginProfiler, ProfileOutcome
 from ..core.replication import HeteroDMRManager
 from ..errors.telemetry import MarginAdvisor, NS_PER_HOUR
+from ..obs import get_recorder
 
 #: Margin step between ladder rungs, matching the BIOS measurement grid.
 LADDER_STEP_MTS = 200
@@ -204,6 +205,12 @@ class DegradationController:
         self._apply_rung(now_ns)
         self.events.append(LadderEvent(now_ns, kind, frm,
                                        self.current_rung.name, reason))
+        rec = get_recorder()
+        if rec.enabled:
+            rec.counter("degradation", "rung_moves", kind=kind)
+            rec.event("degradation", "rung_move", now_ns, kind=kind,
+                      from_rung=frm, to_rung=self.current_rung.name,
+                      reason=reason)
 
     def maybe_enter_read_mode(self, now_ns: float) -> bool:
         """Speed up for reads when the current rung permits it."""

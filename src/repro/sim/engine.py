@@ -25,9 +25,14 @@ import heapq
 import os
 from typing import Callable, List, Optional, Tuple
 
+from ..obs import get_recorder
+
 #: Environment variable consulted by :func:`make_event_loop` when no
 #: explicit engine kind is passed.
 ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+#: Engine kinds :func:`make_event_loop` understands.
+VALID_ENGINES = ("heap", "calendar")
 
 
 class EventLoop:
@@ -99,6 +104,13 @@ class EventLoop:
                 callback()
                 processed += 1
         self.events_processed += processed
+        # One recorder touch per run() call, never per event — the
+        # NullRecorder default keeps the hot loop untouched.
+        if processed:
+            rec = get_recorder()
+            if rec.enabled:
+                rec.counter("engine", "events_processed", processed,
+                            kind="heap")
 
 
 class CalendarEventLoop(EventLoop):
@@ -226,6 +238,11 @@ class CalendarEventLoop(EventLoop):
             callback()
             processed += 1
         self.events_processed += processed
+        if processed:
+            rec = get_recorder()
+            if rec.enabled:
+                rec.counter("engine", "events_processed", processed,
+                            kind="calendar")
 
 
 def make_event_loop(kind: Optional[str] = None) -> EventLoop:
@@ -233,14 +250,22 @@ def make_event_loop(kind: Optional[str] = None) -> EventLoop:
 
     ``kind`` may be ``"heap"``, ``"calendar"``, or None, in which case
     the ``REPRO_ENGINE`` environment variable decides (defaulting to
-    the heap reference engine).
+    the heap reference engine).  Environment values are stripped and
+    lowercased; anything else raises — a typo in ``REPRO_ENGINE`` must
+    not silently change the engine under test.
     """
+    from_env = False
     if kind is None:
-        kind = os.environ.get(ENGINE_ENV_VAR, "heap").strip() or "heap"
+        env = os.environ.get(ENGINE_ENV_VAR, "").strip().lower()
+        from_env = bool(env)
+        kind = env or "heap"
     if kind == "heap":
         return EventLoop()
     if kind == "calendar":
         return CalendarEventLoop()
     raise ValueError(
-        "unknown engine kind {!r} (expected 'heap' or 'calendar')".format(
-            kind))
+        "unknown engine kind {!r}{}; valid engines: {}".format(
+            kind,
+            " (from the {} environment variable)".format(ENGINE_ENV_VAR)
+            if from_env else "",
+            ", ".join(VALID_ENGINES)))

@@ -34,9 +34,10 @@ from ..dram.timing import TimingParameters, manufacturer_spec_3200
 from ..mem_ctrl.address_map import AddressMapping
 from ..mem_ctrl.controller import MemoryController
 from ..mem_ctrl.policy import AccessPolicy
+from ..obs import get_recorder
 from ..workloads.base import TraceGenerator
 from ..workloads.registry import get_profile
-from .engine import EventLoop, make_event_loop
+from .engine import VALID_ENGINES, EventLoop, make_event_loop
 
 #: Designs understood by the simulator.
 DESIGNS = ("baseline", "baseline-plain", "fmr", "hetero-dmr",
@@ -111,9 +112,9 @@ class NodeConfig:
                              "channel")
         if self.refs_per_core <= 0:
             raise ValueError("refs_per_core must be positive")
-        if self.engine not in (None, "heap", "calendar"):
-            raise ValueError("unknown engine {!r}; valid: heap, "
-                             "calendar".format(self.engine))
+        if self.engine is not None and self.engine not in VALID_ENGINES:
+            raise ValueError("unknown engine {!r}; valid: {}".format(
+                self.engine, ", ".join(VALID_ENGINES)))
 
 
 @dataclass
@@ -459,6 +460,25 @@ class NodeSimulation:
                         self_refresh_ns += time_ns - rank.self_refresh_since_ns
         nchan = len(self.channels)
         total_bank_accesses = hits + misses + conflicts
+        rec = get_recorder()
+        if rec.enabled:
+            labels = {"suite": self.config.suite,
+                      "design": self.effective_design}
+            rec.counter("sim", "dram_reads", reads, **labels)
+            rec.counter("sim", "dram_writes", writes, **labels)
+            rec.counter("sim", "frequency_transitions", transitions,
+                        **labels)
+            rec.counter("sim", "write_mode_entries", entries, **labels)
+            rec.gauge("sim", "row_hit_rate",
+                      hits / total_bank_accesses
+                      if total_bank_accesses else 0.0, **labels)
+            rec.gauge("sim", "bus_utilization",
+                      bus_busy / (time_ns * nchan) if time_ns else 0.0,
+                      **labels)
+            rec.gauge("sim", "events_processed",
+                      self.engine.events_processed, **labels)
+            rec.gauge("sim", "schedule_clamped",
+                      self.engine.schedule_clamped, **labels)
         return NodeResult(
             config=self.config,
             time_ns=time_ns,

@@ -191,6 +191,36 @@ def test_make_event_loop_factory(monkeypatch):
         make_event_loop("fibonacci")
 
 
+def test_make_event_loop_env_is_normalized(monkeypatch):
+    from repro.sim.engine import CalendarEventLoop, make_event_loop
+    # Whitespace and case must not silently change the engine.
+    monkeypatch.setenv("REPRO_ENGINE", "  CALENDAR \n")
+    assert type(make_event_loop()) is CalendarEventLoop
+    # An empty/blank variable means "unset", not an error.
+    monkeypatch.setenv("REPRO_ENGINE", "   ")
+    assert type(make_event_loop()) is EventLoop
+
+
+def test_make_event_loop_env_typo_raises_clearly(monkeypatch):
+    import pytest
+    from repro.sim.engine import make_event_loop
+    monkeypatch.setenv("REPRO_ENGINE", "calender")   # typo
+    with pytest.raises(ValueError) as excinfo:
+        make_event_loop()
+    message = str(excinfo.value)
+    assert "calender" in message
+    assert "REPRO_ENGINE" in message
+    assert "heap" in message and "calendar" in message
+
+
+def test_make_event_loop_explicit_kind_error_names_no_env():
+    import pytest
+    from repro.sim.engine import make_event_loop
+    with pytest.raises(ValueError) as excinfo:
+        make_event_loop("fibonacci")
+    assert "REPRO_ENGINE" not in str(excinfo.value)
+
+
 def test_node_simulation_identical_across_engines():
     from repro.sim.node import NodeConfig, simulate_node
     base = NodeConfig(suite="linpack", refs_per_core=800,

@@ -56,6 +56,47 @@ def test_needs_reprofile_exactly_at_deadline():
     assert p.needs_reprofile(110.001)
 
 
+def test_profile_stamp_source_is_monotonic_clock():
+    """Regression: ``profiled_at_s`` used wall-clock ``time.time()``,
+    so an NTP step backwards between profiles could order a newer
+    profile *before* an older one (confusing ``needs_reprofile`` and
+    registry freshness).  The default stamp source is now the
+    monotonic clock."""
+    import time
+    p = NodeMarginProfiler()
+    assert p._clock is time.monotonic
+
+
+def test_profile_stamps_never_go_backwards():
+    """Even with a time source that steps backwards (or explicit
+    ``now_s`` values arriving out of order), stamps are clamped to the
+    high-water mark so profile ordering cannot invert."""
+    steps = iter([100.0, 40.0, 120.0])     # simulated backwards step
+    p = NodeMarginProfiler(clock=lambda: next(steps))
+    channels = _channels()
+    first = p.profile(channels)
+    second = p.profile(channels)           # clock stepped back to 40
+    third = p.profile(channels)
+    assert first.profiled_at_s == 100.0
+    assert second.profiled_at_s == 100.0   # clamped, not 40
+    assert third.profiled_at_s == 120.0
+    # Explicit now_s is clamped the same way.
+    backwards = p.profile(channels, now_s=10.0)
+    assert backwards.profiled_at_s == 120.0
+
+
+def test_profile_stamp_clamp_keeps_reprofile_interval_sane():
+    """A backwards clock step must not make needs_reprofile() think
+    the last profile lies in the future forever."""
+    steps = iter([1000.0, 10.0])
+    p = NodeMarginProfiler(reprofile_interval_s=100.0,
+                           clock=lambda: next(steps))
+    p.profile(_channels())
+    p.profile(_channels())                 # stamp stays at 1000.0
+    assert not p.needs_reprofile(1050.0)
+    assert p.needs_reprofile(1100.0)
+
+
 def test_profile_with_retry_exhaustion():
     """Regression: after ``max_retries`` retries the sequence gives up
     with ``profile=None``, and the elapsed time accounts for every

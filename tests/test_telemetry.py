@@ -27,6 +27,20 @@ def test_rate_per_hour_window():
     assert log.rate_per_hour(NS_PER_HOUR + 11e9) == 0.0
 
 
+def test_window_is_half_open_at_exact_age():
+    """An event exactly ``window_ns`` old has aged out: the window is
+    ``(now - window_ns, now]``, so sampling exactly one window after a
+    burst must not still count the burst."""
+    log = ModuleErrorLog("A1", window_ns=NS_PER_HOUR)
+    log.record(0.0, 0x40, corrected=True)
+    # One instant inside the window: still counted.
+    assert log.rate_per_hour(NS_PER_HOUR - 1.0) == 1.0
+    # Exactly window_ns old: evicted.
+    assert log.rate_per_hour(NS_PER_HOUR) == 0.0
+    # Totals are lifetime counters, unaffected by eviction.
+    assert log.total_ce == 1
+
+
 def test_rate_filters_by_kind():
     log = ModuleErrorLog("A1")
     log.record(0.0, 1, corrected=True)
