@@ -1,0 +1,24 @@
+"""Online adaptive margin control (moving-margin tracking).
+
+The paper treats each node's profiled frequency margin as a constant;
+this subsystem treats it as an *operating condition* (AL-DRAM,
+Flexible-Latency DRAM) that temperature and aging move during a run.
+:class:`AdaptiveMarginController` tracks the moving margin online from
+CE-rate windows, epoch-trip density, and clean-window streaks —
+demoting proactively ahead of faults and re-promoting through a
+hysteresis band with a bounded failed-probe budget —
+and :class:`MovingMarginCampaign` stress-tests the whole loop with
+drift, fault injection, and crash-restarts while the §6 invariant
+shadow checks stay on."""
+
+from .controller import (AdaptiveMarginController, DEMOTE_HEADROOM,
+                         PROACTIVE_DWELL_FRAC, PROMOTE_HEADROOM)
+from .scenario import (MovingMarginCampaign, MovingMarginConfig,
+                       run_moving_margin_campaign)
+
+__all__ = [
+    "AdaptiveMarginController", "DEMOTE_HEADROOM",
+    "MovingMarginCampaign", "MovingMarginConfig",
+    "PROACTIVE_DWELL_FRAC", "PROMOTE_HEADROOM",
+    "run_moving_margin_campaign",
+]

@@ -1,0 +1,303 @@
+"""Online adaptive margin control.
+
+:class:`AdaptiveMarginController` extends the reactive degradation
+ladder (:class:`repro.resilience.degradation.DegradationController`)
+into a feedback controller that *tracks* a moving true margin from the
+evidence streams the stack already emits:
+
+* **proactive demotion** — the reactive ladder demotes only once the
+  :class:`~repro.errors.telemetry.MarginAdvisor` crosses its CE-rate
+  limit or the epoch guard trips.  The adaptive law watches the same
+  CE-rate window and steps down one rung as soon as the rate crosses
+  ``demote_headroom`` of the limit (default 70%) — and it may do so
+  after only ``proactive_dwell_frac`` of the demotion dwell, so a
+  margin eroding under the node is followed *before* the fault budget
+  is spent;
+* **deadband re-promotion** — the reactive ladder re-promotes on any
+  clean window.  The adaptive law additionally requires the CE rate to
+  be *low* (below ``promote_headroom`` of the limit, default 35%), so
+  a rate hovering between the two thresholds parks the rung instead of
+  oscillating — a classic hysteresis band;
+* **bounded probing with backoff** — each re-promotion is a *probe* of
+  the hidden margin; a probe that gets demoted again within
+  ``probe_window_ns`` has *failed* (the rung above is not actually
+  safe).  A failed probe parks promotion for
+  ``probe_backoff_windows`` clean windows, doubling per consecutive
+  failure; once ``probe_budget`` failures accumulate inside the window
+  the park jumps to the full window.  Probing is also suppressed while
+  recent epoch trips are dense (``trip_density_limit`` within
+  ``trip_density_window_ns``).  Successful promotions never consume
+  budget, so a genuine climb back after a transient runs at full
+  ladder speed — only flapping is throttled, gently at first (the
+  margin may simply have come back) and hard when it repeats.
+
+Everything rides on the base controller's machinery — ``_move_to``,
+the reprofile gate for leaving specification, epoch-trip handling —
+so ``Channel.retune_fast``'s spec-only invariant and the §6 safety
+story hold for the adaptive law *by construction*: the subclass only
+decides *when* to move, never *how*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..obs import get_recorder
+from ..resilience.degradation import DegradationController
+
+#: Demote one rung when the CE rate reaches this fraction of the
+#: advisor's demotion limit (the upper edge of the hysteresis band).
+DEMOTE_HEADROOM = 0.70
+
+#: Allow re-promotion probes only while the CE rate is below this
+#: fraction of the limit (the lower edge of the hysteresis band).
+PROMOTE_HEADROOM = 0.35
+
+#: Fraction of the demotion dwell a proactive demotion waits; tracking
+#: an eroding margin needs a faster step-down than the reactive path.
+PROACTIVE_DWELL_FRAC = 0.5
+
+#: Clean windows the first failed probe parks promotion for; doubles
+#: per consecutive failure up to the probe window.
+PROBE_BACKOFF_WINDOWS = 2.0
+
+
+class AdaptiveMarginController(DegradationController):
+    """A :class:`DegradationController` with a margin-tracking law.
+
+    Drop-in compatible: ``observe(now_ns)`` remains the single entry
+    point, checkpoint/WAL restore works through the same
+    ``to_state``/``from_state`` pair, and every safety behaviour of the
+    base class (epoch trips, permanent-fault remaps, reprofile gating)
+    is inherited unchanged.  Fleet ingestion recognises the
+    ``adaptive`` class attribute and records the controller's rung
+    changes as ``adapt`` registry events.
+    """
+
+    #: Marks rung changes for :class:`repro.fleet.ingest.FleetIngest`.
+    adaptive = True
+
+    def __init__(self, manager, advisor,
+                 demote_headroom: float = DEMOTE_HEADROOM,
+                 promote_headroom: float = PROMOTE_HEADROOM,
+                 proactive_dwell_frac: float = PROACTIVE_DWELL_FRAC,
+                 probe_budget: int = 2,
+                 probe_backoff_windows: float = PROBE_BACKOFF_WINDOWS,
+                 probe_window_ns: Optional[float] = None,
+                 trip_density_limit: int = 2,
+                 trip_density_window_ns: Optional[float] = None,
+                 **kwargs):
+        super().__init__(manager, advisor, **kwargs)
+        if not 0.0 < promote_headroom < demote_headroom <= 1.0:
+            raise ValueError("need 0 < promote_headroom < "
+                             "demote_headroom <= 1")
+        if not 0.0 < proactive_dwell_frac <= 1.0:
+            raise ValueError("proactive_dwell_frac must be in (0, 1]")
+        if probe_budget < 1 or trip_density_limit < 1:
+            raise ValueError("probe budget and trip density limit "
+                             "must be at least 1")
+        if probe_backoff_windows <= 0:
+            raise ValueError("probe_backoff_windows must be positive")
+        self.demote_headroom = demote_headroom
+        self.promote_headroom = promote_headroom
+        self.proactive_dwell_frac = proactive_dwell_frac
+        self.probe_budget = probe_budget
+        self.probe_backoff_windows = probe_backoff_windows
+        self.trip_density_limit = trip_density_limit
+        # Defaults scale with the promotion cadence: a probe has this
+        # long to survive, and failures are remembered this long.
+        self.probe_window_ns = (probe_window_ns
+                                if probe_window_ns is not None
+                                else 8.0 * self.clean_window_ns)
+        self.trip_density_window_ns = (
+            trip_density_window_ns
+            if trip_density_window_ns is not None
+            else 4.0 * self.clean_window_ns)
+        if self.probe_window_ns <= 0 or self.trip_density_window_ns <= 0:
+            raise ValueError("windows must be positive")
+        self._pending_probe_ns: Optional[float] = None
+        self._park_until_ns = 0.0
+        self._failed_probes: List[float] = []
+        self._trip_times: List[float] = []
+        self.proactive_demotions = 0
+        self.probe_promotions = 0
+        self.probes_suppressed = 0
+
+    # -- evidence -----------------------------------------------------------------
+
+    def _ce_rate(self, now_ns: float) -> float:
+        """The free module's corrected-error rate over the advisor
+        window — the signal both hysteresis edges compare against."""
+        module_id = self._free_module_id()
+        if module_id is None:
+            return 0.0
+        return self.advisor.log_for(module_id).rate_per_hour(
+            now_ns, corrected=True)
+
+    def _prune(self, times: List[float], now_ns: float,
+               window_ns: float) -> None:
+        while times and now_ns - times[0] > window_ns:
+            times.pop(0)
+
+    # -- probe bookkeeping ---------------------------------------------------------
+
+    def _move_to(self, index: int, now_ns: float, kind: str,
+                 reason: str) -> None:
+        previous = self.rung_index
+        super()._move_to(index, now_ns, kind, reason)
+        # A demotion soon after a probe promotion means the probed rung
+        # was not actually safe: the probe failed and consumes budget.
+        if kind == "demote" and self.rung_index > previous and \
+                self._pending_probe_ns is not None:
+            if now_ns - self._pending_probe_ns <= self.probe_window_ns:
+                self._failed_probes.append(now_ns)
+                self._prune(self._failed_probes, now_ns,
+                            self.probe_window_ns)
+                # Exponential backoff: the first failure parks briefly
+                # (the margin may simply have come back by the next
+                # probe), repeats park for the whole window.
+                failures = len(self._failed_probes)
+                if failures >= self.probe_budget:
+                    park_ns = self.probe_window_ns
+                else:
+                    park_ns = min(
+                        self.probe_window_ns,
+                        self.clean_window_ns *
+                        self.probe_backoff_windows *
+                        (2.0 ** (failures - 1)))
+                self._park_until_ns = max(self._park_until_ns,
+                                          now_ns + park_ns)
+                rec = get_recorder()
+                if rec.enabled:
+                    rec.counter("adaptive", "failed_probes")
+                    rec.event("adaptive", "probe_failed", now_ns,
+                              probed_ns=self._pending_probe_ns,
+                              park_ns=park_ns,
+                              rung=self.current_rung.name)
+            self._pending_probe_ns = None
+
+    # -- the adaptive law ----------------------------------------------------------
+
+    def _check_epoch_trips(self, now_ns: float) -> None:
+        if self.manager.epoch_guard.tripped_epochs > self._seen_trips:
+            self._trip_times.append(now_ns)
+        super()._check_epoch_trips(now_ns)
+
+    def _check_advice(self, now_ns: float, advice) -> None:
+        super()._check_advice(now_ns, advice)
+        # Proactive demotion: the advisor still says "keep", but the
+        # CE rate has entered the headroom band below its limit — the
+        # margin is eroding under us; step down before the budget
+        # (or the epoch guard) is spent.
+        if advice is None or advice.action != "keep" or \
+                self.retired or self.at_spec:
+            return
+        dwell = self.proactive_dwell_frac * self.demote_dwell_ns
+        if now_ns - self.last_change_ns < dwell:
+            return
+        limit = self.demote_headroom * self.advisor.demote_ce_rate
+        rate = self._ce_rate(now_ns)
+        if rate < limit:
+            return
+        self.proactive_demotions += 1
+        self._move_to(self.rung_index + 1, now_ns, "demote",
+                      "adaptive: CE rate {:.0f}/h at {:.0f}% of limit"
+                      .format(rate, 100.0 * self.demote_headroom))
+        rec = get_recorder()
+        if rec.enabled:
+            rec.counter("adaptive", "proactive_demotions")
+            rec.event("adaptive", "proactive_demote", now_ns,
+                      ce_rate_per_hour=rate,
+                      rung=self.current_rung.name)
+
+    def _check_promotion(self, now_ns: float) -> None:
+        if self.retired or self.rung_index == 0:
+            return
+        # Only gate promotions the base law would actually attempt —
+        # suppression counters must measure real interventions.
+        quiet_since = max(self.last_change_ns, self.last_error_ns)
+        if now_ns - quiet_since < self.clean_window_ns:
+            return
+        if not self.manager.epoch_guard.margin_allowed(now_ns):
+            return
+        self._prune(self._trip_times, now_ns,
+                    self.trip_density_window_ns)
+        self._prune(self._failed_probes, now_ns, self.probe_window_ns)
+        # Leaving specification goes through the base law's reprofile
+        # gate — there is no margin rung to probe, and the reprofile is
+        # already the conservative check — so the adaptive suppression
+        # applies only to genuine probes of higher rungs.
+        reason = ""
+        if self.at_spec:
+            pass
+        elif self._ce_rate(now_ns) > \
+                self.promote_headroom * self.advisor.demote_ce_rate:
+            reason = "ce-rate-deadband"
+        elif len(self._trip_times) >= self.trip_density_limit:
+            reason = "trip-density"
+        elif now_ns < self._park_until_ns:
+            reason = "probe-backoff"
+        if reason:
+            self.probes_suppressed += 1
+            rec = get_recorder()
+            if rec.enabled:
+                rec.counter("adaptive", "probes_suppressed",
+                            reason=reason)
+            return
+        before = len(self.events)
+        super()._check_promotion(now_ns)
+        promoted = any(e.kind == "promote"
+                       for e in self.events[before:])
+        if promoted:
+            self._pending_probe_ns = now_ns
+            self.probe_promotions += 1
+            rec = get_recorder()
+            if rec.enabled:
+                rec.counter("adaptive", "probe_promotions")
+                rec.event("adaptive", "probe_promote", now_ns,
+                          rung=self.current_rung.name,
+                          failed_probes_in_window=len(
+                              self._failed_probes))
+
+    # -- checkpoint hooks -----------------------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        state = super().to_state()
+        state["adaptive"] = {
+            "pending_probe_ns": self._pending_probe_ns,
+            "park_until_ns": self._park_until_ns,
+            "failed_probes": list(self._failed_probes),
+            "trip_times": list(self._trip_times),
+            "proactive_demotions": self.proactive_demotions,
+            "probe_promotions": self.probe_promotions,
+            "probes_suppressed": self.probes_suppressed,
+        }
+        return state
+
+    @classmethod
+    def from_state(cls, manager, advisor, state, now_ns: float = 0.0,
+                   wal_rung_index=None, wal_retired: bool = False,
+                   **kwargs) -> "AdaptiveMarginController":
+        """Restore with the base class's conservative semantics, then
+        re-arm the adaptive bookkeeping.  Failed probes and recent trip
+        times are *kept* across the restart — forgetting them would let
+        a crash refresh the probe budget, promoting faster than the
+        durable record allows."""
+        ctl = super().from_state(manager, advisor, state,
+                                 now_ns=now_ns,
+                                 wal_rung_index=wal_rung_index,
+                                 wal_retired=wal_retired, **kwargs)
+        extra = state.get("adaptive", {})
+        pending = extra.get("pending_probe_ns")
+        ctl._pending_probe_ns = (float(pending) if pending is not None
+                                 else None)
+        ctl._park_until_ns = float(extra.get("park_until_ns", 0.0))
+        ctl._failed_probes = [float(t) for t in
+                              extra.get("failed_probes", [])]
+        ctl._trip_times = [float(t) for t in
+                           extra.get("trip_times", [])]
+        ctl.proactive_demotions = int(
+            extra.get("proactive_demotions", 0))
+        ctl.probe_promotions = int(extra.get("probe_promotions", 0))
+        ctl.probes_suppressed = int(extra.get("probes_suppressed", 0))
+        return ctl

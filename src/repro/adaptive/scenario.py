@@ -1,0 +1,223 @@
+"""The "moving margin" chaos scenario: drift + faults + crashes.
+
+:class:`MovingMarginCampaign` extends the classic
+:class:`~repro.resilience.campaign.ChaosCampaign` with a hidden true
+margin that *moves* during the run, driven by a
+:class:`~repro.characterization.drift.DriftModel` (temperature ramp,
+diurnal cycle, aging, or their composite).  The scenario keeps every
+continuous §6 invariant 3–7 shadow check of the base campaign green
+while adding the adaptive-control questions:
+
+* the **fault stream closes the loop** — the injected CE rate rises
+  exponentially (``excess_rate_per_rung`` per 200 MT/s) whenever the
+  controller's rung overreaches the hidden margin, so overreach
+  produces exactly the evidence a real overclocked module would;
+* a **tracking-error metric** integrates |controller rung − true-margin
+  rung| over simulated hours, reported in the
+  :class:`~repro.resilience.report.SurvivabilityReport` next to the
+  same metric for a static-controller run of the same seed;
+* the inherited **crash drills land mid-adaptation** (the
+  ``mid-checkpoint`` kill point sits inside the drift ramp), so
+  recovery must restore the adaptive controller no faster than the
+  last durable registry event;
+* environment observations are journaled as ``drift`` registry events
+  whenever the ambient crosses a ``drift_band_c`` band — observable
+  temperatures only, never the hidden margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from ..characterization.drift import DriftModel, make_drift
+from ..errors.telemetry import NS_PER_HOUR
+from ..obs import get_recorder
+from ..resilience.campaign import ChaosCampaign, ChaosConfig
+from ..resilience.degradation import (DegradationController,
+                                      LADDER_STEP_MTS,
+                                      rung_index_for_margin)
+from ..resilience.report import SurvivabilityReport
+from .controller import (AdaptiveMarginController, DEMOTE_HEADROOM,
+                         PROACTIVE_DWELL_FRAC, PROMOTE_HEADROOM)
+
+
+@dataclass(frozen=True)
+class MovingMarginConfig(ChaosConfig):
+    """A :class:`ChaosConfig` plus the moving-margin knobs.  The
+    inherited :meth:`ChaosConfig.smoke` classmethod works unchanged
+    (it builds ``cls(...)``), so ``MovingMarginConfig.smoke()`` is the
+    CI-sized moving-margin campaign."""
+    #: Drift scenario name (see ``characterization.drift.make_drift``).
+    drift: str = "composite"
+    #: Drive the adaptive controller (False = static baseline run).
+    adaptive: bool = True
+    # Drift shape.
+    drift_peak_ambient_c: float = 41.0
+    drift_diurnal_amplitude_c: float = 12.0
+    drift_aging_rate_mts_per_hour: float = 120.0
+    drift_aging_max_loss_mts: float = 400.0
+    #: Ambient band granularity for ``drift`` registry advisories.
+    drift_band_c: float = 3.0
+    # Fault-stream feedback.
+    #: CE-rate multiplier per 200 MT/s of rung overreach beyond the
+    #: hidden true margin (the §II-C thermal anchor reused as the
+    #: margin-overreach anchor: one rung too fast, 4x the errors).
+    excess_rate_per_rung: float = 4.0
+    #: Fraction of the base error rate injected while the rung is at or
+    #: below the true margin (running within margin is quiet).
+    within_margin_rate_fraction: float = 0.25
+    # Adaptive-control law.
+    demote_headroom: float = DEMOTE_HEADROOM
+    promote_headroom: float = PROMOTE_HEADROOM
+    proactive_dwell_frac: float = PROACTIVE_DWELL_FRAC
+    #: Failed probes tolerated per window before the backoff park
+    #: jumps to the full window: the first failure parks briefly (a
+    #: transient excursion may already be over), the second parks out
+    #: the window (the margin is genuinely still eroded).
+    probe_budget: int = 2
+
+
+class MovingMarginCampaign(ChaosCampaign):
+    """A chaos campaign whose hidden true margin drifts under the
+    controller.  All invariant machinery is inherited; the subclass
+    only overrides the scenario extension points."""
+
+    config: MovingMarginConfig
+
+    def __init__(self, config: Optional[MovingMarginConfig] = None):
+        config = config or MovingMarginConfig()
+        self.drift: DriftModel = make_drift(
+            config.drift, config.duration_ns,
+            peak_ambient_c=config.drift_peak_ambient_c,
+            diurnal_amplitude_c=config.drift_diurnal_amplitude_c,
+            aging_rate_mts_per_hour=config.drift_aging_rate_mts_per_hour,
+            aging_max_loss_mts=config.drift_aging_max_loss_mts)
+        super().__init__(config)
+        self._module_bases = [m.true_margin_mts
+                              for m in self.channel.modules]
+        self._true_margin = self.drift.true_margin_mts(
+            config.base_margin_mts, 0.0)
+        self._true_min = self._true_margin
+        self._true_max = self._true_margin
+        self._tracking_error_rung_h = 0.0
+        self._tracking_samples = 0
+        self._last_band: Optional[int] = None
+
+    # -- scenario extension points ------------------------------------------------
+
+    def _controller_cls(self):
+        return (AdaptiveMarginController if self.config.adaptive
+                else DegradationController)
+
+    def _controller_kwargs(self) -> Dict[str, object]:
+        cfg = self.config
+        if not cfg.adaptive:
+            return {}
+        return {"demote_headroom": cfg.demote_headroom,
+                "promote_headroom": cfg.promote_headroom,
+                "proactive_dwell_frac": cfg.proactive_dwell_frac,
+                "probe_budget": cfg.probe_budget}
+
+    def _ambient_at(self, frac: float, now_ns: float) -> float:
+        return self.drift.ambient_c(now_ns)
+
+    def _injection_rate(self, frac: float) -> float:
+        cfg = self.config
+        excess = max(0, self.controller.current_rung.margin_mts -
+                     self._true_margin)
+        if excess > 0:
+            return cfg.base_error_rate_per_hour * (
+                cfg.excess_rate_per_rung **
+                (excess / float(LADDER_STEP_MTS)))
+        if frac < cfg.flood_span[0]:
+            return (cfg.base_error_rate_per_hour *
+                    cfg.within_margin_rate_fraction)
+        return 0.0
+
+    def _step_hook(self, step: int, frac: float, now_ns: float,
+                   step_ns: float) -> None:
+        cfg = self.config
+        rung = self.controller.current_rung
+        true = self.drift.true_margin_mts(cfg.base_margin_mts, now_ns,
+                                          rung.use_latency_margin)
+        self._true_margin = true
+        self._true_min = min(self._true_min, true)
+        self._true_max = max(self._true_max, true)
+        # Move the hidden margin under the datapath: every module
+        # erodes by the same amount the node's profiled margin did.
+        erosion = cfg.base_margin_mts - true
+        for module, base in zip(self.channel.modules,
+                                self._module_bases):
+            module.true_margin_mts = max(0, base - erosion)
+        # Tracking error: |controller rung - truth rung| in ladder
+        # positions, integrated over simulated hours.  Truth maps
+        # through the same conservative rung mapping recovery uses,
+        # allowing the latency rung only when the controller is on it
+        # (matching how ``true`` itself was computed above) — the
+        # latency step is a real rung, distinct from freq@800 even
+        # though their margins match.
+        ladder = self.controller.ladder
+        truth_index = rung_index_for_margin(
+            ladder, true, allow_latency_margin=rung.use_latency_margin)
+        err_rungs = abs(self.controller.rung_index - truth_index)
+        self._tracking_error_rung_h += err_rungs * (step_ns /
+                                                    NS_PER_HOUR)
+        self._tracking_samples += 1
+        # Journal observable environment changes (never the truth).
+        ambient = self.drift.ambient_c(now_ns)
+        band = int(ambient // cfg.drift_band_c)
+        if band != self._last_band:
+            self._last_band = band
+            dimm = self.drift.dimm_c(now_ns)
+            self.registry.record_drift(
+                self.chaos_node, time_s=now_ns / 1e9,
+                ambient_c=round(ambient, 3), dimm_c=round(dimm, 3),
+                reason="{} band {}".format(self.drift.name, band))
+            rec = get_recorder()
+            if rec.enabled:
+                rec.counter("drift", "band_changes")
+                rec.event("drift", "ambient_band", now_ns,
+                          scenario=self.drift.name, band=band,
+                          ambient_c=round(ambient, 3),
+                          dimm_c=round(dimm, 3))
+
+    # -- reporting ----------------------------------------------------------------
+
+    def _finalize(self, end_ns: float) -> None:
+        super()._finalize(end_ns)
+        cfg = self.config
+        report = self.report
+        report.drift_scenario = cfg.drift
+        report.adaptive = cfg.adaptive
+        report.tracking_error_rung_h = round(
+            self._tracking_error_rung_h, 6)
+        report.tracking_samples = self._tracking_samples
+        report.true_margin_min_mts = self._true_min
+        report.true_margin_max_mts = self._true_max
+        report.proactive_demotions = getattr(
+            self.controller, "proactive_demotions", 0)
+        report.probe_promotions = getattr(
+            self.controller, "probe_promotions", 0)
+        report.probes_suppressed = getattr(
+            self.controller, "probes_suppressed", 0)
+        if self.registry.has_node(self.chaos_node):
+            report.drift_advisories = \
+                self.registry.node(self.chaos_node).drift_advisories
+
+
+def run_moving_margin_campaign(
+        config: Optional[MovingMarginConfig] = None,
+        compare_static: bool = True) -> SurvivabilityReport:
+    """Run one moving-margin campaign; with ``compare_static`` (the
+    default) a second campaign with the identical seed and environment
+    but the static :class:`DegradationController` provides the
+    tracking-error baseline the adaptive run must beat."""
+    config = config or MovingMarginConfig()
+    report = MovingMarginCampaign(config).run()
+    if compare_static and config.adaptive:
+        baseline = MovingMarginCampaign(
+            replace(config, adaptive=False)).run()
+        report.tracking_error_static_rung_h = \
+            baseline.tracking_error_rung_h
+    return report

@@ -2,6 +2,10 @@
 module population, margin testbench, thermal model, latency-margin
 search, and margin-variability Monte Carlo."""
 
+from .drift import (AgingDrift, CompositeDrift, DRIFT_SCENARIOS,
+                    DiurnalDrift, DriftModel, MARGIN_LOSS_MTS_PER_DOUBLING,
+                    MAX_DRIFT_AMBIENT_C, ThermalRampDrift, clamp_ambient_c,
+                    make_drift, thermal_margin_loss_mts)
 from .margins import (CONSERVATIVE_MARGINS, LatencyMarginSearch,
                       conservative_setting, exhaustive_test_count)
 from .modules import (IN_PRODUCTION_RANGE, ModulePopulation, STUDY_CHIPS,
@@ -21,15 +25,20 @@ from .testbench import (BootFailure, ErrorRateMeasurement,
                         measure_population)
 
 __all__ = [
-    "ACCESSES_PER_TEST", "BootFailure", "CHAMBER_AMBIENT_C",
-    "CHANNELS_PER_NODE", "CONSERVATIVE_MARGINS", "ErrorRateMeasurement",
+    "ACCESSES_PER_TEST", "AgingDrift", "BootFailure", "CHAMBER_AMBIENT_C",
+    "CHANNELS_PER_NODE", "CONSERVATIVE_MARGINS", "CompositeDrift",
+    "DRIFT_SCENARIOS", "DiurnalDrift", "DriftModel", "ErrorRateMeasurement",
     "FREQ_LAT_MARGIN_45C_MULTIPLIER", "FREQ_MARGIN_45C_MULTIPLIER",
-    "IN_PRODUCTION_RANGE", "LatencyMarginSearch", "MODULES_PER_CHANNEL",
-    "MODULE_MARGIN_MEAN", "MODULE_MARGIN_STDEV", "MarginDistribution",
-    "MarginMeasurement", "MarginMonteCarlo", "ModulePopulation",
-    "PASS_FRACTION", "PLATFORM_CAP_MTS", "ROOM_AMBIENT_C", "STUDY_CHIPS",
-    "STUDY_MODULES", "StressResult", "StressTester", "SyntheticModule",
-    "THERMAL_BOOT_FAILURES", "TestMachine", "TrinititeSampler",
-    "conservative_setting", "dimm_temperature_c", "error_rate_multiplier",
-    "exhaustive_test_count", "measure_population", "trinitite_percentile",
+    "IN_PRODUCTION_RANGE", "LatencyMarginSearch",
+    "MARGIN_LOSS_MTS_PER_DOUBLING", "MAX_DRIFT_AMBIENT_C",
+    "MODULES_PER_CHANNEL", "MODULE_MARGIN_MEAN", "MODULE_MARGIN_STDEV",
+    "MarginDistribution", "MarginMeasurement", "MarginMonteCarlo",
+    "ModulePopulation", "PASS_FRACTION", "PLATFORM_CAP_MTS",
+    "ROOM_AMBIENT_C", "STUDY_CHIPS", "STUDY_MODULES", "StressResult",
+    "StressTester", "SyntheticModule", "THERMAL_BOOT_FAILURES",
+    "TestMachine", "ThermalRampDrift", "TrinititeSampler",
+    "clamp_ambient_c", "conservative_setting", "dimm_temperature_c",
+    "error_rate_multiplier", "exhaustive_test_count", "make_drift",
+    "measure_population", "thermal_margin_loss_mts",
+    "trinitite_percentile",
 ]

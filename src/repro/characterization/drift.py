@@ -1,0 +1,226 @@
+"""Margin drift models: the true margin as an operating condition.
+
+The paper profiles each node's frequency margin once and treats it as a
+constant, but its own Section II-C shows the margin *moves*: error
+rates at 45 C ambient are 4x the 23 C rates (2x with latency margins),
+and AL-DRAM / Flexible-Latency DRAM (PAPERS.md) establish that DRAM
+timing slack depends on temperature and age.  This module provides the
+drift side of that story for the adaptive-control subsystem
+(:mod:`repro.adaptive`): a family of :class:`DriftModel`\\ s that move
+a node's *hidden true margin* over simulated time, built on the
+thermal anchors of :mod:`repro.characterization.temperature`.
+
+The temperature-to-margin mapping uses the paper's own anchor: the 4x
+error-rate multiplier at 45 C corresponds to roughly one 200 MT/s
+ladder rung of lost margin, so margin loss is
+:data:`MARGIN_LOSS_MTS_PER_DOUBLING` (100 MT/s) per doubling of the
+error-rate multiplier.  Aging adds a *permanent*, monotone loss on top
+(the module never gets that margin back).
+
+Every model clamps its ambient so the modelled on-DIMM temperature
+never exceeds the JEDEC :data:`MAX_OPERATING_C` (95 C): hotter ambients
+in a scenario saturate rather than model physically-impossible DIMMs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .temperature import (MAX_OPERATING_C, ROOM_AMBIENT_C,
+                          dimm_temperature_c, error_rate_multiplier)
+
+NS_PER_HOUR = 3_600_000_000_000.0
+
+#: MT/s of true margin lost per doubling of the error-rate multiplier
+#: (anchored so 45 C ambient with frequency margins alone — the
+#: paper's 4x point — costs one 200 MT/s ladder rung).
+MARGIN_LOSS_MTS_PER_DOUBLING = 100.0
+
+#: Largest ambient any drift model reports: with the self-heating
+#: offsets of :func:`dimm_temperature_c` (floor +5 C at high ambient)
+#: this is exactly the ambient whose active DIMM temperature reaches
+#: ``MAX_OPERATING_C``.
+MAX_DRIFT_AMBIENT_C = MAX_OPERATING_C - 5.0
+
+
+def clamp_ambient_c(ambient_c: float) -> float:
+    """Clamp an ambient into the physically modelled band: no colder
+    than the LANL minimum neighbourhood, and never so hot that the
+    active DIMM temperature would exceed ``MAX_OPERATING_C``."""
+    return min(max(ambient_c, 0.0), MAX_DRIFT_AMBIENT_C)
+
+
+def thermal_margin_loss_mts(ambient_c: float,
+                            with_latency_margin: bool = False) -> float:
+    """True-margin loss (MT/s) attributable to temperature alone.
+
+    Zero at (and below) room ambient; 200 MT/s at the 45 C anchor when
+    exploiting frequency margin alone (multiplier 4x = two doublings),
+    100 MT/s with latency margins (multiplier 2x = one doubling)."""
+    ambient = clamp_ambient_c(ambient_c)
+    multiplier = error_rate_multiplier(ambient, with_latency_margin)
+    if multiplier <= 1.0:
+        return 0.0
+    return MARGIN_LOSS_MTS_PER_DOUBLING * math.log2(multiplier)
+
+
+@dataclass(frozen=True)
+class DriftModel:
+    """Base drift model: a constant room-temperature environment.
+
+    Subclasses override :meth:`ambient_c` (reversible, temperature
+    driven) and/or :meth:`aging_loss_mts` (permanent, monotone
+    non-decreasing in time).  :meth:`true_margin_mts` combines both
+    into the hidden margin a node actually has at time ``t_ns``."""
+
+    name: str = "none"
+
+    def ambient_c(self, t_ns: float) -> float:
+        """Ambient temperature at simulated time ``t_ns`` (clamped)."""
+        return ROOM_AMBIENT_C
+
+    def aging_loss_mts(self, t_ns: float) -> float:
+        """Permanent margin loss accrued by time ``t_ns`` (MT/s)."""
+        return 0.0
+
+    def dimm_c(self, t_ns: float, active: bool = True) -> float:
+        """On-DIMM temperature at ``t_ns`` (never above JEDEC max)."""
+        return min(dimm_temperature_c(self.ambient_c(t_ns), active),
+                   MAX_OPERATING_C)
+
+    def true_margin_mts(self, base_margin_mts: int, t_ns: float,
+                        with_latency_margin: bool = False) -> int:
+        """The node's hidden true margin at ``t_ns``: the profiled
+        base minus thermal and aging losses, floored at zero."""
+        loss = thermal_margin_loss_mts(self.ambient_c(t_ns),
+                                       with_latency_margin)
+        loss += max(0.0, self.aging_loss_mts(t_ns))
+        return max(0, int(round(base_margin_mts - loss)))
+
+
+@dataclass(frozen=True)
+class ThermalRampDrift(DriftModel):
+    """A machine-room excursion: ambient ramps linearly from room to
+    ``peak_ambient_c`` over ``[start_ns, peak_ns]``, then back down
+    over ``[peak_ns, end_ns]`` (a failed CRAC unit being repaired)."""
+
+    name: str = "ramp"
+    start_ns: float = 0.0
+    peak_ns: float = 0.5 * NS_PER_HOUR
+    end_ns: float = 1.0 * NS_PER_HOUR
+    peak_ambient_c: float = 41.0
+
+    def __post_init__(self) -> None:
+        if not self.start_ns <= self.peak_ns <= self.end_ns:
+            raise ValueError("ramp spans must be ordered")
+
+    def ambient_c(self, t_ns: float) -> float:
+        if t_ns <= self.start_ns or t_ns >= self.end_ns:
+            return ROOM_AMBIENT_C
+        if t_ns <= self.peak_ns:
+            span = self.peak_ns - self.start_ns
+            frac = (t_ns - self.start_ns) / span if span else 1.0
+        else:
+            span = self.end_ns - self.peak_ns
+            frac = (self.end_ns - t_ns) / span if span else 1.0
+        ambient = ROOM_AMBIENT_C + frac * (self.peak_ambient_c -
+                                           ROOM_AMBIENT_C)
+        return clamp_ambient_c(ambient)
+
+
+@dataclass(frozen=True)
+class DiurnalDrift(DriftModel):
+    """A day/night cycle: ambient swings sinusoidally above room by up
+    to ``amplitude_c``, starting at the nightly minimum (room)."""
+
+    name: str = "diurnal"
+    amplitude_c: float = 12.0
+    period_ns: float = 1.0 * NS_PER_HOUR
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_ns <= 0:
+            raise ValueError("period must be positive")
+
+    def ambient_c(self, t_ns: float) -> float:
+        angle = 2.0 * math.pi * (t_ns / self.period_ns) + self.phase
+        swing = 0.5 * (1.0 - math.cos(angle))
+        return clamp_ambient_c(ROOM_AMBIENT_C +
+                               self.amplitude_c * swing)
+
+
+@dataclass(frozen=True)
+class AgingDrift(DriftModel):
+    """Wear-out: after ``onset_ns`` the true margin erodes permanently
+    at ``rate_mts_per_hour``, losing ``max_loss_mts`` at most."""
+
+    name: str = "aging"
+    rate_mts_per_hour: float = 120.0
+    onset_ns: float = 0.0
+    max_loss_mts: float = 400.0
+
+    def __post_init__(self) -> None:
+        if self.rate_mts_per_hour < 0 or self.max_loss_mts < 0:
+            raise ValueError("aging rate and cap must be non-negative")
+
+    def aging_loss_mts(self, t_ns: float) -> float:
+        hours = max(0.0, (t_ns - self.onset_ns)) / NS_PER_HOUR
+        return min(self.max_loss_mts, self.rate_mts_per_hour * hours)
+
+
+@dataclass(frozen=True)
+class CompositeDrift(DriftModel):
+    """Superposition of drift models: thermal excursions add above
+    room, aging losses accumulate, and the combined ambient is clamped
+    like every other model's."""
+
+    name: str = "composite"
+    parts: Sequence[DriftModel] = field(default_factory=tuple)
+
+    def ambient_c(self, t_ns: float) -> float:
+        excess = sum(p.ambient_c(t_ns) - ROOM_AMBIENT_C
+                     for p in self.parts)
+        return clamp_ambient_c(ROOM_AMBIENT_C + max(0.0, excess))
+
+    def aging_loss_mts(self, t_ns: float) -> float:
+        return sum(max(0.0, p.aging_loss_mts(t_ns))
+                   for p in self.parts)
+
+
+#: The scenario names ``repro adapt --drift`` accepts.
+DRIFT_SCENARIOS = ("ramp", "diurnal", "aging", "composite")
+
+
+def make_drift(name: str, duration_ns: float,
+               peak_ambient_c: float = 41.0,
+               diurnal_amplitude_c: float = 12.0,
+               aging_rate_mts_per_hour: float = 120.0,
+               aging_max_loss_mts: float = 400.0) -> DriftModel:
+    """Build a named drift scenario scaled to a campaign duration:
+    the ramp peaks mid-run, the diurnal cycle completes exactly once,
+    and aging starts eroding from the first simulated instant."""
+    if name == "ramp":
+        return ThermalRampDrift(start_ns=0.15 * duration_ns,
+                                peak_ns=0.45 * duration_ns,
+                                end_ns=0.80 * duration_ns,
+                                peak_ambient_c=peak_ambient_c)
+    if name == "diurnal":
+        return DiurnalDrift(amplitude_c=diurnal_amplitude_c,
+                            period_ns=duration_ns)
+    if name == "aging":
+        return AgingDrift(rate_mts_per_hour=aging_rate_mts_per_hour,
+                          onset_ns=0.10 * duration_ns,
+                          max_loss_mts=aging_max_loss_mts)
+    if name == "composite":
+        return CompositeDrift(parts=(
+            ThermalRampDrift(start_ns=0.15 * duration_ns,
+                             peak_ns=0.45 * duration_ns,
+                             end_ns=0.80 * duration_ns,
+                             peak_ambient_c=peak_ambient_c),
+            AgingDrift(rate_mts_per_hour=aging_rate_mts_per_hour / 2.0,
+                       onset_ns=0.10 * duration_ns,
+                       max_loss_mts=aging_max_loss_mts)))
+    raise ValueError("unknown drift scenario {!r}; valid: {}".format(
+        name, ", ".join(DRIFT_SCENARIOS)))

@@ -8,6 +8,7 @@
     python -m repro node --suite hpcg       # one node, four designs
     python -m repro hpc --nodes 256         # Figure 17-style system run
     python -m repro chaos --smoke           # fault-injection campaign
+    python -m repro adapt --smoke           # moving-margin adaptation
     python -m repro fleet profile           # profile a fleet registry
     python -m repro recover restore         # crash recovery
     python -m repro perf bench              # sweep benchmark + gate
@@ -164,6 +165,30 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             return 2   # distinct from exit 1 == campaign FAIL
     print(text, end="")
     return 0 if report.passed() else 1
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    import dataclasses
+    from .adaptive import MovingMarginConfig, run_moving_margin_campaign
+    base = (MovingMarginConfig.smoke() if args.smoke
+            else MovingMarginConfig())
+    config = dataclasses.replace(base, seed=_resolve_seed(args),
+                                 drift=args.drift,
+                                 adaptive=not args.static)
+    report = run_moving_margin_campaign(
+        config,
+        compare_static=not (args.static or args.no_baseline))
+    text = report.render()
+    if args.report_file:
+        try:
+            with open(args.report_file, "w") as fh:
+                fh.write(text)
+        except OSError as exc:
+            print("repro adapt: cannot write report: {}".format(exc),
+                  file=sys.stderr)
+            return EXIT_IO_ERROR
+    print(text, end="")
+    return EXIT_OK if report.passed() else EXIT_DOMAIN_FAILURE
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -371,8 +396,11 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         pairs = [
             ["cells", report.n_cells],
             ["unique simulations", report.unique_simulations],
-            ["workers (requested/used)", "{}/{}".format(
-                report.workers_requested, report.workers_used)],
+            ["workers (requested/used)", "{}/{}{}".format(
+                report.workers_requested, report.workers_used,
+                " ({})".format(report.cap_reason)
+                if report.cap_reason else "")],
+            ["cpu capacity", report.cpu_capacity],
             ["engine", report.engine],
             ["fast wall s", "{:.2f}".format(report.fast_wall_s)],
             ["events/s", "{:.0f}".format(report.events_per_second)],
@@ -432,6 +460,12 @@ def _obs_run_scenario(name: str, seed: int, recorder) -> bool:
                     design="hetero-dmr+fmr", refs_per_core=2000,
                     memory_utilization=util, seed=seed))
             return True
+        if name == "adapt-smoke":
+            import dataclasses
+            from .adaptive import MovingMarginCampaign, MovingMarginConfig
+            config = dataclasses.replace(MovingMarginConfig.smoke(),
+                                         seed=seed)
+            return MovingMarginCampaign(config).run().passed()
         # chaos-smoke
         import dataclasses
         from .resilience import ChaosConfig, run_chaos_campaign
@@ -595,6 +629,28 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--report-file", default=None,
                        help="also write the report to this path")
 
+    adapt = sub.add_parser(
+        "adapt", parents=[common],
+        help="run the moving-margin campaign: environment drift + "
+             "fault injection + crash drills under the adaptive "
+             "margin controller (exit 1 on FAIL)")
+    adapt.add_argument("--smoke", action="store_true",
+                       help="short CI-sized campaign (~1 simulated hour)")
+    adapt.add_argument("--drift", default="composite",
+                       choices=("ramp", "diurnal", "aging", "composite"),
+                       help="drift scenario moving the hidden true "
+                            "margin (default composite)")
+    adapt.add_argument("--static", action="store_true",
+                       help="drive the static reactive controller "
+                            "instead of the adaptive one (no baseline "
+                            "comparison)")
+    adapt.add_argument("--no-baseline", action="store_true",
+                       help="skip the same-seed static baseline run "
+                            "(halves the campaign time; the "
+                            "beats-static check is then not enforced)")
+    adapt.add_argument("--report-file", default=None,
+                       help="also write the report to this path")
+
     fleet = sub.add_parser(
         "fleet", help="fleet margin registry: profile, status, place")
     fsub = fleet.add_subparsers(dest="fleet_command", required=True)
@@ -712,7 +768,7 @@ def build_parser() -> argparse.ArgumentParser:
         "obs", help="observability: deterministic lifecycle traces, "
                     "metrics exporters, trace summaries")
     osub = obs.add_subparsers(dest="obs_command", required=True)
-    scenarios = ("chaos-smoke", "node")
+    scenarios = ("adapt-smoke", "chaos-smoke", "node")
     otrace = osub.add_parser(
         "trace", parents=[common],
         help="run a seeded scenario with tracing on; the JSONL trace "
@@ -753,6 +809,7 @@ _HANDLERS = {
     "node": _cmd_node,
     "hpc": _cmd_hpc,
     "chaos": _cmd_chaos,
+    "adapt": _cmd_adapt,
     "fleet": _cmd_fleet,
     "recover": _cmd_recover,
     "perf": _cmd_perf,

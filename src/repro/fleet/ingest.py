@@ -63,8 +63,13 @@ class FleetIngest:
         A change to the node's current effective margin is recorded as
         ``demote`` or ``promote`` by direction; a rung change while the
         controller reports ``retired`` records a ``retire`` instead.
-        The initial hook call at controller construction (rung margin
-        equal to the node's effective margin) is a no-op.
+        Controllers that declare ``adaptive = True`` (the
+        :class:`repro.adaptive.AdaptiveMarginController` family) record
+        ``adapt`` events instead of demote/promote — the margin
+        semantics are identical but the fleet can tell control-law
+        decisions from reactive ladder moves.  The initial hook call at
+        controller construction (rung margin equal to the node's
+        effective margin) is a no-op.
         """
         rec = (self.registry.node(node_index)
                if self.registry.has_node(node_index) else None)
@@ -79,7 +84,13 @@ class FleetIngest:
             margin = int(rung.margin_mts)
             if previous is not None and margin == previous:
                 return                        # no effective change
-            if previous is None or margin < previous:
+            down = previous is None or margin < previous
+            if getattr(controller, "adaptive", False):
+                self.registry.record_adapt(
+                    node_index, margin, time_s=self.now_s,
+                    direction="demote" if down else "promote",
+                    reason=rung.name)
+            elif down:
                 self.registry.record_demotion(
                     node_index, margin, time_s=self.now_s,
                     reason=rung.name)

@@ -27,6 +27,20 @@ Event kinds (the full schema is documented in DESIGN.md §8):
     An advisory (e.g. a profiling pass aborted by boot failures during
     a thermal excursion); it does not change the effective margin but
     is counted per node.
+``drift``
+    An environment observation from a drift scenario (ambient and
+    on-DIMM temperature band changes seen by
+    :mod:`repro.adaptive`); like ``thermal`` it changes no margin,
+    but it is counted separately so adaptive runs can report how much
+    environment churn the controller was exposed to.
+``adapt``
+    A rung change decided by the adaptive controller
+    (:class:`repro.adaptive.AdaptiveMarginController`) rather than the
+    reactive ladder — proactive demotion ahead of faults or a
+    probe-budgeted re-promotion.  The payload mirrors
+    ``demote``/``promote`` (``margin_mts`` + a rung-name ``reason``)
+    and the margin semantics are identical, so recovery replay and
+    cluster folding treat it exactly like a ladder rung change.
 
 Durability contract: events are appended one canonical-JSON line at a
 time; snapshots are written atomically (temp file + ``os.replace``) so
@@ -50,7 +64,8 @@ from ..core.margin_selection import bucket_node_margin
 from ..obs import get_recorder
 
 #: Allowed event kinds, in documentation order.
-EVENT_KINDS = ("profile", "demote", "promote", "retire", "thermal")
+EVENT_KINDS = ("profile", "demote", "promote", "retire", "thermal",
+               "drift", "adapt")
 
 #: Snapshot schema version (bumped on incompatible changes).
 SNAPSHOT_FORMAT = 1
@@ -120,6 +135,7 @@ class NodeRecord:
     demoted_margin_mts: Optional[int] = None
     retired: bool = False
     advisories: int = 0
+    drift_advisories: int = 0
     last_seq: int = 0
 
     @property
@@ -144,6 +160,7 @@ class NodeRecord:
                 "profiled_at_s": self.profiled_at_s,
                 "demoted_margin_mts": self.demoted_margin_mts,
                 "retired": self.retired, "advisories": self.advisories,
+                "drift_advisories": self.drift_advisories,
                 "last_seq": self.last_seq}
 
     @classmethod
@@ -156,6 +173,7 @@ class NodeRecord:
                    demoted_margin_mts=raw["demoted_margin_mts"],
                    retired=bool(raw["retired"]),
                    advisories=int(raw.get("advisories", 0)),
+                   drift_advisories=int(raw.get("drift_advisories", 0)),
                    last_seq=int(raw.get("last_seq", 0)))
 
 
@@ -338,6 +356,25 @@ class MarginRegistry:
         """A thermal/profiling advisory (no margin change)."""
         return self.record("thermal", node, time_s, reason=reason)
 
+    def record_drift(self, node: int, time_s: float = 0.0,
+                     ambient_c: float = 0.0, dimm_c: float = 0.0,
+                     reason: str = "") -> RegistryEvent:
+        """A drift-scenario environment observation (no margin change).
+        Payload carries only *observable* state — ambient and on-DIMM
+        temperatures — never the scenario's hidden true margin."""
+        return self.record("drift", node, time_s,
+                           ambient_c=float(ambient_c),
+                           dimm_c=float(dimm_c), reason=reason)
+
+    def record_adapt(self, node: int, margin_mts: int,
+                     time_s: float = 0.0, direction: str = "",
+                     reason: str = "") -> RegistryEvent:
+        """An adaptive-controller rung change; margin semantics match
+        ``demote``/``promote`` so replay stays conservative."""
+        return self.record("adapt", node, time_s,
+                           margin_mts=int(margin_mts),
+                           direction=direction, reason=reason)
+
     def _apply(self, event: RegistryEvent) -> None:
         rec = self._records.setdefault(event.node,
                                        NodeRecord(event.node))
@@ -348,7 +385,7 @@ class MarginRegistry:
                 int(m) for m in payload.get("channel_margins", ()))
             rec.profiled_at_s = event.time_s
             rec.demoted_margin_mts = None
-        elif event.kind in ("demote", "promote"):
+        elif event.kind in ("demote", "promote", "adapt"):
             margin = int(payload["margin_mts"])
             base = rec.margin_mts if rec.margin_mts is not None else 0
             rec.demoted_margin_mts = None if margin >= base else margin
@@ -356,6 +393,8 @@ class MarginRegistry:
             rec.retired = True
         elif event.kind == "thermal":
             rec.advisories += 1
+        elif event.kind == "drift":
+            rec.drift_advisories += 1
         rec.last_seq = event.seq
 
     # -- queries ------------------------------------------------------------------

@@ -102,6 +102,8 @@ class BenchReport:
     unique_simulations: int
     workers_requested: int
     workers_used: int
+    cpu_capacity: int
+    cap_reason: str
     engine: str
     fast_wall_s: float
     events_processed: int
@@ -121,7 +123,9 @@ class BenchReport:
             "n_cells": self.n_cells,
             "unique_simulations": self.unique_simulations,
             "workers": {"requested": self.workers_requested,
-                        "used": self.workers_used},
+                        "used": self.workers_used,
+                        "cpu_capacity": self.cpu_capacity,
+                        "cap_reason": self.cap_reason},
             "engine": self.engine,
             "fast_wall_s": self.fast_wall_s,
             "events_processed": self.events_processed,
@@ -184,6 +188,8 @@ def run_perf_bench(refs_per_core: int = 120,
         unique_simulations=result.unique_simulations,
         workers_requested=workers,
         workers_used=result.workers_used,
+        cpu_capacity=result.cpu_capacity,
+        cap_reason=result.cap_reason,
         engine=engine or "default",
         fast_wall_s=result.wall_s,
         events_processed=result.events_processed,

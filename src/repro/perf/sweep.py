@@ -32,6 +32,24 @@ from ..workloads.registry import suite_names
 #: Effective designs that never leave spec timing (margin knobs inert).
 _SPEC_ONLY = ("baseline", "baseline-plain", "fmr")
 
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the host's cores, which overcounts under
+    CPU affinity masks and container cpusets — exactly the situation
+    where a recorded bench claimed ``workers: {requested: 8, used: 1}``
+    with no explanation.  Prefer the scheduler affinity mask where the
+    platform exposes it.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:       # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
 #: NodeResult fields copied into each cell's result record.
 _RESULT_FIELDS = (
     "time_ns", "instructions", "dram_reads", "dram_writes",
@@ -134,12 +152,21 @@ def _run_cell(task: Tuple) -> dict:
 
 @dataclass
 class SweepResult:
-    """Outcome of one sweep: per-cell records plus accounting."""
+    """Outcome of one sweep: per-cell records plus accounting.
+
+    ``cap_reason`` explains any gap between requested and used workers
+    ("" when they match): ``cpu-capacity`` (affinity mask / cpuset had
+    fewer CPUs than requested), ``single-task`` (nothing to fan out),
+    ``pool-unavailable`` (the platform refused to spawn workers), or
+    ``pool-broken`` (workers died mid-sweep; rerun serially).
+    """
     cells: List[dict]
     unique_simulations: int
     wall_s: float
     workers_used: int
     events_processed: int
+    cpu_capacity: int = 1
+    cap_reason: str = ""
 
     @property
     def events_per_second(self) -> float:
@@ -183,21 +210,36 @@ class SweepRunner:
         """Run tasks, in order, serially or over a process pool.
         ``pool.map`` yields in task order, so ingestion order (and
         therefore every downstream artifact) is identical at any
-        worker count."""
+        worker count.  Sets ``workers_used``, ``cpu_capacity``, and
+        ``cap_reason`` so a serial run is always explained, never
+        silent."""
         self.workers_used = 1
+        self.cpu_capacity = available_cpus()
+        self.cap_reason = ""
         workers = self.config.workers
-        if self.config.cap_to_cpus:
-            workers = min(workers, os.cpu_count() or 1)
+        if self.config.cap_to_cpus and workers > self.cpu_capacity:
+            workers = self.cpu_capacity
+            self.cap_reason = "cpu-capacity"
+        if workers > 1 and len(tasks) <= 1:
+            self.cap_reason = "single-task"
         if workers > 1 and len(tasks) > 1:
             try:
                 from concurrent.futures import ProcessPoolExecutor
+                from concurrent.futures.process import BrokenProcessPool
                 chunk = max(1, len(tasks) // (workers * 4))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    self.workers_used = workers
-                    return list(pool.map(_run_cell, tasks,
-                                         chunksize=chunk))
+                    outcomes = list(pool.map(_run_cell, tasks,
+                                             chunksize=chunk))
+                self.workers_used = workers
+                return outcomes
             except (OSError, PermissionError):
-                self.workers_used = 1   # sandboxed: fall back to serial
+                # Sandboxed: the platform refuses to spawn workers.
+                self.cap_reason = "pool-unavailable"
+            except BrokenProcessPool:
+                # Workers died mid-sweep (OOM-killed, interpreter
+                # mismatch, ...).  Cells are deterministic, so a full
+                # serial rerun gives identical results.
+                self.cap_reason = "pool-broken"
         return [_run_cell(task) for task in tasks]
 
     def run(self) -> SweepResult:
@@ -218,4 +260,6 @@ class SweepRunner:
                            unique_simulations=len(tasks),
                            wall_s=wall,
                            workers_used=self.workers_used,
-                           events_processed=events)
+                           events_processed=events,
+                           cpu_capacity=self.cpu_capacity,
+                           cap_reason=self.cap_reason)

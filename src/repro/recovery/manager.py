@@ -187,8 +187,8 @@ class RecoveryManager:
         for event in events:
             if event.kind == "retire":
                 retired = True
-            elif event.kind in ("demote", "promote", "profile") \
-                    and ladder:
+            elif event.kind in ("demote", "promote", "profile",
+                                "adapt") and ladder:
                 reason = str(event.payload.get("reason", ""))
                 if reason in names:
                     rung = names[reason]
@@ -233,22 +233,27 @@ class RecoveryManager:
     def rebuild_controller(self, manager, advisor,
                            recovered: RecoveredState,
                            now_ns: float = 0.0,
+                           controller_cls=None,
                            **kwargs) -> "DegradationController":
         """A :class:`DegradationController` restored from the
         checkpoint with the WAL's net rung applied on top (see
         :meth:`DegradationController.from_state` for the conservative
         semantics).  Without a checkpointed controller section the
         node restarts at the WAL rung — or at specification when even
-        that is unknown."""
+        that is unknown.  ``controller_cls`` swaps in a controller
+        subclass (e.g. the adaptive controller) while keeping the same
+        restore semantics — ``from_state`` is a classmethod."""
         from ..resilience.degradation import DegradationController
+        if controller_cls is None:
+            controller_cls = DegradationController
         state = recovered.section("controller")
         if state is None:
             ladder = kwargs.pop("ladder", None) or \
                 recovered.ladder or None
             hook = kwargs.pop("on_rung_change", None)
-            ctl = DegradationController(manager, advisor,
-                                        ladder=ladder,
-                                        on_rung_change=None, **kwargs)
+            ctl = controller_cls(manager, advisor,
+                                 ladder=ladder,
+                                 on_rung_change=None, **kwargs)
             index = recovered.wal_rung_index
             ctl.rung_index = ctl.spec_index if index is None \
                 else min(index, ctl.spec_index)
@@ -260,7 +265,7 @@ class RecoveryManager:
             if hook is not None:
                 hook(ctl.current_rung)
             return ctl
-        return DegradationController.from_state(
+        return controller_cls.from_state(
             manager, advisor, state, now_ns=now_ns,
             wal_rung_index=recovered.wal_rung_index,
             wal_retired=recovered.wal_retired, **kwargs)

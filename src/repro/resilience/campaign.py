@@ -243,15 +243,56 @@ class ChaosCampaign:
                             ce_rate_per_hour=25.0, ue_rate_per_hour=0.0),
         ]]
         hook = self.ingest.rung_hook(self.chaos_node)
-        self.controller = DegradationController(
+        self.controller = self._controller_cls()(
             self.manager, self.advisor,
             ladder=build_ladder(cfg.base_margin_mts),
             clean_window_ns=cfg.clean_window_hours * NS_PER_HOUR,
             demote_dwell_ns=cfg.demote_dwell_hours * NS_PER_HOUR,
             profiler=self.profiler,
             profile_channels=self.profile_channels,
-            on_rung_change=hook)
+            on_rung_change=hook,
+            **self._controller_kwargs())
         hook.controller = self.controller
+
+    # -- scenario extension points ------------------------------------------------------
+    #
+    # Subclasses (e.g. the moving-margin campaign in repro.adaptive)
+    # override these to swap the controller and move the environment
+    # without touching the invariant-checked step loop.  The base
+    # implementations reproduce the classic campaign byte-for-byte.
+
+    def _controller_cls(self):
+        """Controller class the campaign drives."""
+        return DegradationController
+
+    def _controller_kwargs(self) -> Dict[str, object]:
+        """Extra keyword arguments for the controller constructor
+        (both at build time and when recovery rebuilds it)."""
+        return {}
+
+    def _ambient_at(self, frac: float, now_ns: float) -> float:
+        """Ambient temperature for this step: the classic campaign is
+        a square thermal excursion; drift scenarios shape it freely."""
+        cfg = self.config
+        return (cfg.thermal_ambient_c
+                if self._in_span(frac, cfg.thermal_span)
+                else ROOM_AMBIENT_C)
+
+    def _injection_rate(self, frac: float) -> float:
+        """Rate-driven corruption intensity (errors/hour before the
+        thermal multiplier) outside the flood span.  The classic
+        campaign keeps the recovery window fault-free; a zero rate
+        consumes no injector RNG, so overriding this cannot perturb
+        the base sequence."""
+        cfg = self.config
+        if frac < cfg.flood_span[0]:
+            return cfg.base_error_rate_per_hour
+        return 0.0
+
+    def _step_hook(self, step: int, frac: float, now_ns: float,
+                   step_ns: float) -> None:
+        """Called once per surviving step before any fault activity;
+        drift scenarios move the hidden true margin here."""
 
     def _attach_bus_hook(self, manager: HeteroDMRManager) -> None:
         """Arm the correction path's transient-bus-fault injection; the
@@ -363,12 +404,10 @@ class ChaosCampaign:
             return
         if self._in_span(frac, cfg.flood_span):
             hit = self.injector.campaign(self.addresses, probability=1.0)
-        elif frac < cfg.flood_span[0]:
-            rate = cfg.base_error_rate_per_hour * multiplier
+        else:
+            rate = self._injection_rate(frac) * multiplier
             hit = self.injector.campaign(
                 self.addresses, rate_per_hour=rate, duration_ns=step_ns)
-        else:
-            hit = []   # recovery: fault-free window
         self._dirty.update(hit)
         if hit:
             rec = get_recorder()
@@ -486,10 +525,12 @@ class ChaosCampaign:
         manager.observe_utilization(cfg.low_utilization)
         self.controller = self.recovery.rebuild_controller(
             manager, advisor, recovered, now_ns=restart_ns,
+            controller_cls=self._controller_cls(),
             clean_window_ns=cfg.clean_window_hours * NS_PER_HOUR,
             demote_dwell_ns=cfg.demote_dwell_hours * NS_PER_HOUR,
             profiler=self.profiler,
-            profile_channels=self.profile_channels)
+            profile_channels=self.profile_channels,
+            **self._controller_kwargs())
         hook = self.ingest.rung_hook(self.chaos_node, self.controller)
         self.controller.on_rung_change = hook
         hook(self.controller.current_rung)
@@ -643,9 +684,8 @@ class ChaosCampaign:
                 continue
             self.supervisor.heartbeat(now_ns)
             self.manager.now_ns = max(self.manager.now_ns, now_ns)
-            ambient = (cfg.thermal_ambient_c
-                       if self._in_span(frac, cfg.thermal_span)
-                       else ROOM_AMBIENT_C)
+            self._step_hook(step, frac, now_ns, step_ns)
+            ambient = self._ambient_at(frac, now_ns)
             multiplier = error_rate_multiplier(
                 ambient, self.controller.current_rung.use_latency_margin)
             report.thermal_multiplier_max = max(

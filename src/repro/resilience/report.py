@@ -11,7 +11,7 @@ iteration, and all floats through the fixed-precision formatters of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.reporting import format_event_log, format_kv
 from ..errors.telemetry import NS_PER_HOUR
@@ -77,6 +77,19 @@ class SurvivabilityReport:
     groups_after: Dict[int, int] = field(default_factory=dict)
     jobs_completed: int = 0
     placement_consistent: bool = False
+    # Moving-margin scenario (repro.adaptive); all zero/empty for the
+    # classic campaign, which keeps its report byte-identical.
+    drift_scenario: str = ""
+    adaptive: bool = False
+    tracking_error_rung_h: float = 0.0
+    tracking_error_static_rung_h: Optional[float] = None
+    tracking_samples: int = 0
+    true_margin_min_mts: int = 0
+    true_margin_max_mts: int = 0
+    proactive_demotions: int = 0
+    probe_promotions: int = 0
+    probes_suppressed: int = 0
+    drift_advisories: int = 0
 
     # -- verdict --------------------------------------------------------------------
 
@@ -106,7 +119,8 @@ class SurvivabilityReport:
             out.append("epoch guard never tripped")
         if self.remaps == 0:
             out.append("no permanent-fault remap exercised")
-        if self.thermal_multiplier_max <= 1.0:
+        if self.thermal_multiplier_max <= 1.0 and \
+                not self.drift_scenario:
             out.append("no thermal excursion applied")
         if not self.demoted_to_spec:
             out.append("ladder never demoted to specification")
@@ -130,6 +144,24 @@ class SurvivabilityReport:
             if not self.kill_points.get(kill_point):
                 out.append("crash kill-point {} never exercised"
                            .format(kill_point))
+        if self.drift_scenario:
+            if self.tracking_samples == 0:
+                out.append("drift scenario never sampled")
+            if self.true_margin_min_mts >= self.true_margin_max_mts:
+                out.append("true margin never moved under drift")
+            if self.drift_advisories == 0:
+                out.append("no drift advisories recorded")
+            if self.adaptive:
+                if self.proactive_demotions == 0:
+                    out.append("adaptive law never demoted proactively")
+                if self.tracking_error_static_rung_h is not None and \
+                        self.tracking_error_rung_h >= \
+                        self.tracking_error_static_rung_h:
+                    out.append(
+                        "adaptive tracking error {:.4f} rung-h did not "
+                        "beat static baseline {:.4f} rung-h".format(
+                            self.tracking_error_rung_h,
+                            self.tracking_error_static_rung_h))
         return out
 
     def passed(self) -> bool:
@@ -181,6 +213,27 @@ class SurvivabilityReport:
                 ("reprofile_failures", self.reprofile_failures),
             ] + [("fleet[{}]".format(k), v) for k, v in
                  sorted(self.fleet_summary.items())]),
+        ]
+        if self.drift_scenario:
+            static = ("{:.4f}".format(self.tracking_error_static_rung_h)
+                      if self.tracking_error_static_rung_h is not None
+                      else "n/a")
+            sections.append(format_kv("Adaptive tracking", [
+                ("drift_scenario", self.drift_scenario),
+                ("controller", "adaptive" if self.adaptive
+                 else "static"),
+                ("tracking_error_rung_h",
+                 "{:.4f}".format(self.tracking_error_rung_h)),
+                ("tracking_error_static_rung_h", static),
+                ("tracking_samples", self.tracking_samples),
+                ("true_margin_min_mts", self.true_margin_min_mts),
+                ("true_margin_max_mts", self.true_margin_max_mts),
+                ("proactive_demotions", self.proactive_demotions),
+                ("probe_promotions", self.probe_promotions),
+                ("probes_suppressed", self.probes_suppressed),
+                ("drift_advisories", self.drift_advisories),
+            ]))
+        sections += [
             format_kv("Crash recovery", [
                 ("crashes", self.crashes),
                 ("recoveries", self.recoveries),

@@ -1,0 +1,476 @@
+"""Tests for ``repro.adaptive``: the adaptive margin controller's
+hysteresis/probe law, drift models (with clamp/monotonicity
+properties), registry ``drift``/``adapt`` events, conservative
+recovery of the adaptive controller, and the moving-margin campaign
+(tracking error must beat the static baseline on the same seed)."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adaptive import (AdaptiveMarginController,
+                            MovingMarginCampaign, MovingMarginConfig,
+                            run_moving_margin_campaign)
+from repro.characterization.drift import (DRIFT_SCENARIOS,
+                                          MAX_DRIFT_AMBIENT_C,
+                                          clamp_ambient_c, make_drift,
+                                          thermal_margin_loss_mts)
+from repro.characterization.modules import SyntheticModule
+from repro.characterization.temperature import (MAX_OPERATING_C,
+                                                ROOM_AMBIENT_C,
+                                                error_rate_multiplier)
+from repro.core.config import HeteroDMRConfig
+from repro.core.profiling import NodeMarginProfiler
+from repro.core.replication import HeteroDMRManager
+from repro.dram.channel import Channel
+from repro.dram.module import Module, ModuleSpec
+from repro.errors.telemetry import NS_PER_HOUR, MarginAdvisor
+from repro.fleet.registry import MarginRegistry
+from repro.recovery import CheckpointStore, RecoveryManager
+from repro.resilience import DegradationController, FlakyTestMachine
+from repro.resilience.report import SurvivabilityReport
+
+H = NS_PER_HOUR
+
+
+def make_stack(threshold=5, demote_ce_rate=100.0):
+    ch = Channel(index=0)
+    ch.modules = [Module(ModuleSpec(), "M0", true_margin_mts=600),
+                  Module(ModuleSpec(), "M1", true_margin_mts=800)]
+    advisor = MarginAdvisor(demote_ce_rate=demote_ce_rate,
+                            window_ns=0.1 * H)
+    mgr = HeteroDMRManager(
+        ch,
+        config=HeteroDMRConfig(margin_mts=800, epoch_hours=0.1,
+                               epoch_error_threshold=threshold),
+        telemetry=advisor)
+    for a in range(4):
+        mgr.write(a, [a + 1] * 64)
+    mgr.observe_utilization(0.2)
+    return mgr, advisor
+
+
+def make_adaptive(mgr, advisor, **kw):
+    kw.setdefault("clean_window_ns", 0.05 * H)
+    kw.setdefault("demote_dwell_ns", 0.02 * H)
+    return AdaptiveMarginController(mgr, advisor, **kw)
+
+
+def free_id(mgr):
+    return mgr.channel.modules[mgr.free_module_index].module_id
+
+
+def record_ces(advisor, mgr, t_ns, n, base_addr=0x1000):
+    """n distinct-address corrected errors (no remap signature)."""
+    fid = free_id(mgr)
+    for i in range(n):
+        advisor.record(t_ns, fid, base_addr + i, corrected=True)
+
+
+# -- control-law parameters ---------------------------------------------------
+
+
+def test_adaptive_parameter_validation():
+    mgr, advisor = make_stack()
+    with pytest.raises(ValueError):
+        make_adaptive(mgr, advisor, promote_headroom=0.8,
+                      demote_headroom=0.7)
+    with pytest.raises(ValueError):
+        make_adaptive(mgr, advisor, proactive_dwell_frac=0.0)
+    with pytest.raises(ValueError):
+        make_adaptive(mgr, advisor, probe_budget=0)
+    with pytest.raises(ValueError):
+        make_adaptive(mgr, advisor, probe_backoff_windows=0.0)
+    with pytest.raises(ValueError):
+        make_adaptive(mgr, advisor, probe_window_ns=-1.0)
+
+
+def test_proactive_demotion_inside_headroom_band():
+    """A CE rate at 70% of the limit demotes after half the dwell,
+    before the reactive law (which needs 100%) would move at all."""
+    mgr, advisor = make_stack(demote_ce_rate=100.0)
+    ctl = make_adaptive(mgr, advisor)   # band: demote >= 70/h
+    record_ces(advisor, mgr, 0.005 * H, 8)    # 80/h in the 0.1h window
+    # Inside the proactive dwell (0.5 * 0.02h): no move yet.
+    assert ctl.observe(0.005 * H) == []
+    events = ctl.observe(0.015 * H)
+    assert [e.kind for e in events] == ["demote"]
+    assert events[0].reason.startswith("adaptive:")
+    assert ctl.proactive_demotions == 1
+    assert ctl.current_rung.name == "freq@800"
+
+
+def test_no_proactive_demotion_below_band():
+    mgr, advisor = make_stack(demote_ce_rate=100.0)
+    ctl = make_adaptive(mgr, advisor)
+    record_ces(advisor, mgr, 0.005 * H, 6)    # 60/h < 70/h band edge
+    assert ctl.observe(0.015 * H) == []
+    assert ctl.proactive_demotions == 0
+    assert ctl.rung_index == 0
+
+
+def test_probe_lifecycle_deadband_backoff_and_budget():
+    """The full promotion hysteresis: deadband parks a hovering rate,
+    a failed probe parks for the backoff, a second failure parks out
+    the whole probe window."""
+    mgr, advisor = make_stack(demote_ce_rate=100.0)
+    ctl = make_adaptive(mgr, advisor, probe_budget=2)
+    assert ctl.probe_window_ns == pytest.approx(8 * 0.05 * H)
+    # Proactive demote at 80/h.
+    record_ces(advisor, mgr, 0.005 * H, 8)
+    ctl.observe(0.015 * H)
+    assert ctl.rung_index == 1
+    # The rate falls into the deadband (40/h, between the 35/h promote
+    # edge and the 70/h demote band): hold position, no oscillation.
+    record_ces(advisor, mgr, 0.10 * H, 4, base_addr=0x1800)
+    assert ctl.observe(0.16 * H) == []
+    assert ctl.rung_index == 1 and ctl.probes_suppressed == 1
+    # Once the window drains the promotion goes through as a probe.
+    events = ctl.observe(0.21 * H)
+    assert [e.kind for e in events] == ["promote"]
+    assert ctl.probe_promotions == 1
+    # The probed rung is not actually safe: demote inside the probe
+    # window = failed probe -> short backoff park (2 clean windows).
+    record_ces(advisor, mgr, 0.22 * H, 10, base_addr=0x2000)
+    events = ctl.observe(0.23 * H)
+    assert [e.kind for e in events] == ["demote"]
+    suppressed_before = ctl.probes_suppressed
+    assert ctl.observe(0.325 * H) == []       # rate drained, parked
+    assert ctl.probes_suppressed == suppressed_before + 1
+    events = ctl.observe(0.34 * H)            # backoff expired
+    assert [e.kind for e in events] == ["promote"]
+    # Second failed probe exhausts the budget: full-window park.
+    record_ces(advisor, mgr, 0.35 * H, 10, base_addr=0x3000)
+    ctl.observe(0.37 * H)
+    assert ctl.rung_index == 1
+    assert ctl.observe(0.55 * H) == []        # still parked
+    events = ctl.observe(0.78 * H)            # 0.37 + 0.4h window
+    assert [e.kind for e in events] == ["promote"]
+
+
+def test_trip_density_suppresses_probing():
+    mgr, advisor = make_stack(threshold=5)
+    ctl = make_adaptive(mgr, advisor, trip_density_limit=1,
+                        trip_density_window_ns=1.0 * H)
+    for _ in range(6):
+        mgr.epoch_guard.record_error(0.01 * H)
+    ctl.observe(0.01 * H)
+    assert ctl.rung_index == 1
+    # Quiet long enough for the base law to promote, but the recent
+    # trip is still inside the density window.
+    assert ctl.observe(0.2 * H) == []
+    assert ctl.probes_suppressed >= 1
+    events = ctl.observe(1.2 * H)             # trip aged out
+    assert any(e.kind == "promote" for e in events)
+
+
+def test_reprofile_gate_stays_gated_under_adaptive_layer():
+    """Leaving specification still requires a successful reprofile —
+    the adaptive law must neither bypass the gate nor deadlock it."""
+    mgr, advisor = make_stack()
+    failing = NodeMarginProfiler(
+        machine=FlakyTestMachine(fail_calls=99, seed=1))
+    channels = [[SyntheticModule(
+        "P0", ModuleSpec(), true_margin_mts=820.0,
+        boot_margin_mts=1050.0, voltage_uplift_mts=100.0,
+        ce_rate_per_hour=40.0, ue_rate_per_hour=0.0)]]
+    ctl = make_adaptive(mgr, advisor, profiler=failing,
+                        profile_channels=channels)
+    advisor.record(0.01 * H, free_id(mgr), 0x40, corrected=False)
+    ctl.observe(0.01 * H)
+    assert ctl.at_spec
+    events = ctl.observe(0.2 * H)
+    assert ctl.at_spec                        # still gated
+    assert [e.kind for e in events] == ["reprofile"]
+    assert ctl.reprofile_failures == 1
+
+
+def test_reprofile_success_releases_spec_despite_deadband():
+    """The adaptive deadband must not apply at spec: once a reprofile
+    succeeds, the climb out of specification starts immediately."""
+    mgr, advisor = make_stack()
+    flaky = NodeMarginProfiler(
+        machine=FlakyTestMachine(fail_calls=2, seed=1))
+    channels = [[SyntheticModule(
+        "P0", ModuleSpec(), true_margin_mts=820.0,
+        boot_margin_mts=1050.0, voltage_uplift_mts=100.0,
+        ce_rate_per_hour=40.0, ue_rate_per_hour=0.0)]]
+    ctl = make_adaptive(mgr, advisor, profiler=flaky,
+                        profile_channels=channels)
+    advisor.record(0.01 * H, free_id(mgr), 0x40, corrected=False)
+    ctl.observe(0.01 * H)
+    assert ctl.at_spec
+    events = ctl.observe(0.2 * H)
+    assert [e.kind for e in events] == ["reprofile", "promote"]
+    assert not ctl.at_spec
+
+
+def test_adaptive_state_round_trip_keeps_probe_bookkeeping():
+    """A crash must not refresh the probe budget: parks, failures, and
+    counters all survive the to_state/from_state round trip."""
+    mgr, advisor = make_stack(demote_ce_rate=100.0)
+    ctl = make_adaptive(mgr, advisor, probe_budget=2)
+    record_ces(advisor, mgr, 0.005 * H, 8)
+    ctl.observe(0.015 * H)                    # proactive demote
+    ctl.observe(0.12 * H)                     # probe promote
+    record_ces(advisor, mgr, 0.13 * H, 10, base_addr=0x2000)
+    ctl.observe(0.14 * H)                     # failed probe, parked
+    state = ctl.to_state()
+    mgr2, advisor2 = make_stack(demote_ce_rate=100.0)
+    restored = AdaptiveMarginController.from_state(
+        mgr2, advisor2, state, now_ns=0.14 * H)
+    assert restored._park_until_ns == ctl._park_until_ns
+    assert restored._failed_probes == ctl._failed_probes
+    assert restored.proactive_demotions == ctl.proactive_demotions
+    assert restored.probe_promotions == ctl.probe_promotions
+    assert restored.probes_suppressed == ctl.probes_suppressed
+    # A plain base-controller state restores with clean bookkeeping.
+    base_state = DegradationController(mgr, advisor).to_state()
+    fresh = AdaptiveMarginController.from_state(mgr2, advisor2,
+                                                base_state)
+    assert fresh._failed_probes == [] and fresh._park_until_ns == 0.0
+
+
+# -- flapping regression (base controller hysteresis bound) -------------------
+
+
+def _drive_alternating(ctl, mgr, epochs=12, epoch_h=0.1):
+    """Alternating noisy/quiet epochs; observe on a fine grid."""
+    events = []
+    for k in range(epochs):
+        t0 = k * epoch_h
+        if k % 2 == 0:
+            for _ in range(6):
+                mgr.epoch_guard.record_error((t0 + 0.01) * H)
+        for i in range(5):
+            events += ctl.observe((t0 + 0.01 + 0.02 * i) * H)
+    return events
+
+
+def test_alternating_trips_respect_hysteresis_bound():
+    """Worst-case alternating trip/clean scheduling must not move the
+    ladder faster than the hysteresis allows: every promotion arrives
+    at least one full clean window after the previous ladder event,
+    and the total event count stays bounded by the schedule."""
+    clean_window = 0.05 * H
+    mgr, advisor = make_stack(threshold=5)
+    ctl = DegradationController(mgr, advisor,
+                                clean_window_ns=clean_window,
+                                demote_dwell_ns=0.02 * H)
+    events = _drive_alternating(ctl, mgr)
+    moves = [e for e in events if e.kind in ("demote", "promote")]
+    assert moves, "schedule never moved the ladder"
+    for prev, cur in zip(moves, moves[1:]):
+        if cur.kind == "promote":
+            assert cur.time_ns - prev.time_ns >= clean_window - 1e-6
+    # At most one demote and one promote per epoch pair.
+    assert len(moves) <= 12 * 2
+
+
+def test_adaptive_flaps_no_more_than_static():
+    """Under the identical alternating schedule the adaptive law's
+    trip-density suppression can only slow oscillation down."""
+    mgr_s, advisor_s = make_stack(threshold=5)
+    static = DegradationController(mgr_s, advisor_s,
+                                   clean_window_ns=0.05 * H,
+                                   demote_dwell_ns=0.02 * H)
+    static_events = _drive_alternating(static, mgr_s)
+    mgr_a, advisor_a = make_stack(threshold=5)
+    adaptive = make_adaptive(mgr_a, advisor_a)
+    adaptive_events = _drive_alternating(adaptive, mgr_a)
+    n_static = sum(1 for e in static_events if e.kind == "promote")
+    n_adaptive = sum(1 for e in adaptive_events if e.kind == "promote")
+    assert n_adaptive <= n_static
+
+
+# -- drift model properties ---------------------------------------------------
+
+_EXTREME = dict(peak_ambient_c=150.0, diurnal_amplitude_c=120.0,
+                aging_rate_mts_per_hour=500.0,
+                aging_max_loss_mts=2000.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(name=st.sampled_from(DRIFT_SCENARIOS),
+       frac=st.floats(min_value=0.0, max_value=1.5))
+def test_drift_clamps_dimm_temperature(name, frac):
+    """Even absurd scenario parameters never model a DIMM hotter than
+    the JEDEC operating limit, and ambients stay in the drift band."""
+    duration = 1.0 * H
+    drift = make_drift(name, duration, **_EXTREME)
+    t = frac * duration
+    ambient = drift.ambient_c(t)
+    assert 0.0 <= ambient <= MAX_DRIFT_AMBIENT_C
+    assert drift.dimm_c(t) <= MAX_OPERATING_C
+    assert drift.true_margin_mts(800, t) >= 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(a1=st.floats(min_value=-20.0, max_value=130.0),
+       a2=st.floats(min_value=-20.0, max_value=130.0),
+       with_latency=st.booleans())
+def test_error_rate_multiplier_monotone_in_ambient(a1, a2, with_latency):
+    lo, hi = min(a1, a2), max(a1, a2)
+    assert error_rate_multiplier(clamp_ambient_c(lo), with_latency) <= \
+        error_rate_multiplier(clamp_ambient_c(hi), with_latency)
+    # Thermal margin loss inherits the monotonicity and is never a gain.
+    assert 0.0 <= thermal_margin_loss_mts(lo, with_latency) <= \
+        thermal_margin_loss_mts(hi, with_latency)
+
+
+@settings(max_examples=40, deadline=None)
+@given(name=st.sampled_from(DRIFT_SCENARIOS),
+       f1=st.floats(min_value=0.0, max_value=1.2),
+       f2=st.floats(min_value=0.0, max_value=1.2))
+def test_aging_loss_is_monotone_and_permanent(name, f1, f2):
+    duration = 1.0 * H
+    drift = make_drift(name, duration)
+    t_lo, t_hi = sorted((f1 * duration, f2 * duration))
+    assert drift.aging_loss_mts(t_lo) <= drift.aging_loss_mts(t_hi)
+
+
+def test_thermal_loss_matches_paper_anchor():
+    """Section II-C anchors: 45 C costs one 200 MT/s rung on frequency
+    margins (4x = 2 doublings), half a rung with latency margins."""
+    assert thermal_margin_loss_mts(45.0, False) == pytest.approx(200.0)
+    assert thermal_margin_loss_mts(45.0, True) == pytest.approx(100.0)
+    assert thermal_margin_loss_mts(ROOM_AMBIENT_C, False) == 0.0
+
+
+def test_make_drift_rejects_unknown_scenario():
+    with pytest.raises(ValueError):
+        make_drift("tsunami", 1.0 * H)
+
+
+# -- registry drift/adapt events ---------------------------------------------
+
+
+def test_registry_adapt_events_fold_like_ladder_moves():
+    registry = MarginRegistry()
+    registry.record_profile(0, 800, time_s=0.0)
+    registry.record_adapt(0, 600, time_s=1.0, direction="demote",
+                          reason="freq@600")
+    rec = registry.node(0)
+    assert rec.demoted_margin_mts == 600
+    assert rec.effective_margin_mts == 600
+    registry.record_adapt(0, 800, time_s=2.0, direction="promote",
+                          reason="freq@800")
+    rec = registry.node(0)
+    assert rec.demoted_margin_mts is None
+    assert rec.effective_margin_mts == 800
+
+
+def test_registry_drift_events_are_advisory_only():
+    registry = MarginRegistry()
+    registry.record_profile(0, 800, time_s=0.0)
+    registry.record_drift(0, time_s=1.0, ambient_c=41.0, dimm_c=56.0,
+                          reason="ramp band 13")
+    rec = registry.node(0)
+    assert rec.drift_advisories == 1
+    assert rec.effective_margin_mts == 800     # margins untouched
+    # The counter survives a serialization round trip.
+    clone = type(rec).from_dict(rec.to_dict())
+    assert clone.drift_advisories == 1
+
+
+def test_recovery_replays_adapt_but_not_drift():
+    """``adapt`` events are durable ladder state (replayed); ``drift``
+    advisories are environment observations (never replayed)."""
+    registry = MarginRegistry()
+    registry.record_profile(0, 800, time_s=0.0)
+    mgr, advisor = make_stack()
+    ctl = make_adaptive(mgr, advisor)
+    recovery = RecoveryManager(CheckpointStore(), registry, node=0)
+    recovery.capture(mgr.epoch_guard, ctl, advisor, now_ns=0.0)
+    registry.record_adapt(0, 400, time_s=1.0, direction="demote",
+                          reason="freq@400")
+    registry.record_drift(0, time_s=2.0, ambient_c=41.0, dimm_c=56.0,
+                          reason="ramp band 13")
+    recovered = recovery.recover()
+    assert recovered.durable_rung().name == "freq@400"
+
+
+def test_rebuilt_adaptive_controller_is_no_faster_than_durable():
+    """Crash-restart mid-adaptation restores the adaptive controller
+    exactly to the last durable registry event, not to the (faster)
+    rung the controller might have probed to before the crash."""
+    registry = MarginRegistry()
+    registry.record_profile(0, 800, time_s=0.0)
+    mgr, advisor = make_stack()
+    ctl = make_adaptive(mgr, advisor)
+    recovery = RecoveryManager(CheckpointStore(), registry, node=0)
+    recovery.capture(mgr.epoch_guard, ctl, advisor, now_ns=0.0)
+    registry.record_adapt(0, 400, time_s=1.0, direction="demote",
+                          reason="freq@400")
+    recovered = recovery.recover()
+    mgr2, advisor2 = make_stack()
+    rebuilt = recovery.rebuild_controller(
+        mgr2, advisor2, recovered, now_ns=2.0 * H,
+        controller_cls=AdaptiveMarginController)
+    assert isinstance(rebuilt, AdaptiveMarginController)
+    durable = recovered.durable_rung()
+    assert rebuilt.current_rung.margin_mts <= durable.margin_mts
+
+
+# -- moving-margin campaign ---------------------------------------------------
+
+
+def test_moving_margin_campaign_beats_static_baseline():
+    """The PR's acceptance criterion: the seeded moving-margin
+    campaign keeps every section 6 invariant green and the adaptive
+    law's integrated tracking error beats the static controller's on
+    the identical seed and drift."""
+    config = replace(MovingMarginConfig.smoke(), seed=2026)
+    report = run_moving_margin_campaign(config)
+    assert report.passed(), report.failures()
+    assert report.silent_corruptions == 0
+    assert report.safety_violations == 0
+    assert report.broadcast_divergences == 0
+    assert report.replication_divergences == 0
+    assert report.uncorrectable_errors == 0
+    assert report.adaptive and report.drift_scenario == "composite"
+    assert report.tracking_error_static_rung_h is not None
+    assert report.tracking_error_rung_h < \
+        report.tracking_error_static_rung_h
+    assert report.true_margin_min_mts < report.true_margin_max_mts
+    assert report.drift_advisories > 0
+    assert report.proactive_demotions > 0
+    # Crash drills landed mid-adaptation and restored conservatively.
+    assert report.crashes == report.recoveries > 0
+    assert report.conservative_violations == 0
+
+
+def test_moving_margin_campaign_is_deterministic():
+    config = replace(MovingMarginConfig.smoke(), seed=7)
+    r1 = MovingMarginCampaign(config).run()
+    r2 = MovingMarginCampaign(config).run()
+    assert r1.render() == r2.render()
+
+
+@pytest.mark.parametrize("drift", ("ramp", "diurnal", "aging"))
+def test_every_drift_scenario_completes_green(drift):
+    config = replace(MovingMarginConfig.smoke(), seed=2026,
+                     drift=drift)
+    report = MovingMarginCampaign(config).run()
+    assert report.passed(), report.failures()
+    assert report.drift_scenario == drift
+    assert report.tracking_samples > 0
+
+
+def test_report_gates_adaptive_tracking_fields():
+    base = dict(seed=1, duration_hours=1.0, drift_scenario="composite",
+                adaptive=True)
+    rep = SurvivabilityReport(**base)
+    failures = " ".join(rep.failures())
+    assert "never sampled" in failures
+    assert "never moved under drift" in failures
+    assert "no drift advisories" in failures
+    assert "never demoted proactively" in failures
+    rep = SurvivabilityReport(
+        tracking_error_rung_h=1.0, tracking_error_static_rung_h=1.0,
+        tracking_samples=10, true_margin_min_mts=600,
+        true_margin_max_mts=800, drift_advisories=3,
+        proactive_demotions=2, **base)
+    assert any("did not beat" in f for f in rep.failures())
+    assert "Adaptive tracking" in rep.render()

@@ -12,7 +12,7 @@ from repro.fleet import (EVENT_KINDS, MarginRegistry, NodeRecord,
 
 def test_event_kinds_cover_the_design():
     assert set(EVENT_KINDS) == {"profile", "demote", "promote",
-                                "retire", "thermal"}
+                                "retire", "thermal", "drift", "adapt"}
 
 
 def test_sequence_numbers_are_monotonic():

@@ -91,15 +91,67 @@ def test_load_baseline_missing_file(tmp_path):
 def test_bench_report_roundtrip(tmp_path):
     report = BenchReport(
         refs_per_core=60, n_cells=19, unique_simulations=7,
-        workers_requested=8, workers_used=1, engine="heap",
+        workers_requested=8, workers_used=1, cpu_capacity=1,
+        cap_reason="cpu-capacity", engine="heap",
         fast_wall_s=1.5, events_processed=1000,
         events_per_second=666.0)
     path = report.write(tmp_path / "BENCH_speedup.json")
     data = json.loads(path.read_text())
     assert data["bench"] == "fig12_sweep"
     assert data["unique_simulations"] == 7
-    assert data["workers"] == {"requested": 8, "used": 1}
+    # A requested/used gap must always carry its explanation.
+    assert data["workers"] == {"requested": 8, "used": 1,
+                               "cpu_capacity": 1,
+                               "cap_reason": "cpu-capacity"}
     assert data["regressed"] is False
+
+
+def test_sweep_explains_worker_cap():
+    """A sweep that cannot fan out must say why: on any host,
+    requesting more workers than the affinity mask allows either caps
+    to capacity or runs at full request — never a silent serial run."""
+    from repro.perf.sweep import available_cpus
+    capacity = available_cpus()
+    assert capacity >= 1
+    result = _run(workers=capacity + 7)
+    assert result.cpu_capacity == capacity
+    if result.workers_used < capacity + 7:
+        assert result.cap_reason in ("cpu-capacity", "single-task",
+                                     "pool-unavailable", "pool-broken")
+    # An uncapped pool run (or serial request) reports no reason.
+    serial = _run(workers=1)
+    assert serial.workers_used == 1
+    assert serial.cap_reason == ""
+
+
+def test_sweep_survives_broken_pool(monkeypatch):
+    """Workers dying mid-sweep must degrade to a serial rerun with
+    identical results, not crash the bench."""
+    from concurrent.futures.process import BrokenProcessPool
+    import concurrent.futures as cf
+    from repro.perf import sweep as sweep_mod
+
+    class _BrokenPool:
+        def __init__(self, max_workers=None):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def map(self, fn, tasks, chunksize=1):
+            raise BrokenProcessPool("worker died")
+
+    monkeypatch.setattr(cf, "ProcessPoolExecutor", _BrokenPool)
+    result = SweepRunner(SweepConfig(workers=4, cap_to_cpus=False,
+                                     **_SMALL)).run()
+    assert result.workers_used == 1
+    assert result.cap_reason == "pool-broken"
+    clean = _run(1)
+    assert json.dumps(result.deterministic_view(), sort_keys=True) == \
+        json.dumps(clean.deterministic_view(), sort_keys=True)
 
 
 def test_committed_baseline_is_loadable():
