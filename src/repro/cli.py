@@ -13,6 +13,8 @@
     python -m repro recover restore         # crash recovery
     python -m repro perf bench              # sweep benchmark + gate
     python -m repro obs trace               # deterministic trace run
+    python -m repro serve                   # placement daemon (JSONL)
+    python -m repro soak --smoke            # seeded soak + gate
     python -m repro suites                  # workload catalogue
 
 Each subcommand prints the same plain-text tables the benchmark
@@ -564,6 +566,154 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return EXIT_OK if events else EXIT_DOMAIN_FAILURE
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    from .fleet.registry import RegistryError
+    from .hpc.cluster import Cluster
+    from .service import (DaemonConfig, PlaceRequest, PlacementDaemon,
+                          RegistryWrite, ReleaseRequest,
+                          ShardedRegistry)
+    seed = _resolve_seed(args)
+    try:
+        if args.registry is not None:
+            registry = ShardedRegistry(args.registry, create=False)
+        else:
+            registry = ShardedRegistry(shards=args.shards)
+            for node in Cluster(args.nodes, seed=seed).nodes:
+                registry.record_profile(node.index, node.margin_mts)
+    except (RegistryError, OSError) as exc:
+        print("repro serve: cannot open registry: {}".format(exc),
+              file=sys.stderr)
+        return EXIT_IO_ERROR
+    try:
+        if args.requests is not None:
+            with open(args.requests) as fh:
+                lines = fh.readlines()
+        else:
+            lines = sys.stdin.readlines()
+    except OSError as exc:
+        print("repro serve: cannot read requests: {}".format(exc),
+              file=sys.stderr)
+        return EXIT_IO_ERROR
+    out_fh = None
+    if args.out is not None:
+        try:
+            out_fh = open(args.out, "w")
+        except OSError as exc:
+            print("repro serve: cannot open output: {}".format(exc),
+                  file=sys.stderr)
+            return EXIT_IO_ERROR
+    stream = out_fh if out_fh is not None else sys.stdout
+    config = DaemonConfig(
+        queue_limit=args.queue_limit,
+        event_queue_limit=max(4096, 2 * args.queue_limit))
+    daemon = PlacementDaemon(
+        registry, config,
+        decision_sink=lambda d: stream.write(d.to_json() + "\n"))
+
+    async def run_requests() -> int:
+        bad = 0
+        async with daemon:
+            futures = []
+            for lineno, line in enumerate(lines, 1):
+                if not line.strip():
+                    continue
+                try:
+                    doc = json.loads(line)
+                    op = doc["op"]
+                    if op == "place":
+                        deadline = doc.get("deadline_s")
+                        futures.append(daemon.submit(PlaceRequest(
+                            int(doc["job"]),
+                            int(doc.get("nodes", 1)),
+                            float(deadline) if deadline is not None
+                            else None)))
+                    elif op == "release":
+                        futures.append(await daemon.submit_release(
+                            ReleaseRequest(int(doc["job"]))))
+                    elif op == "write":
+                        await daemon.submit_write(RegistryWrite(
+                            str(doc["kind"]), int(doc["node"]),
+                            dict(doc.get("payload", {}))))
+                    elif op == "tick":
+                        await daemon.submit_tick(float(doc["now_s"]))
+                    else:
+                        raise ValueError("unknown op {!r}".format(op))
+                except (KeyError, TypeError, ValueError) as exc:
+                    print("repro serve: bad request line {}: {}"
+                          .format(lineno, exc), file=sys.stderr)
+                    bad += 1
+            if futures:
+                await asyncio.gather(*futures)
+        return bad
+
+    try:
+        bad = asyncio.run(run_requests())
+    finally:
+        if out_fh is not None:
+            out_fh.close()
+    stats = daemon.stats
+    print("repro serve: {} decisions (placed {}, shed {}, expired {}, "
+          "released {}), {} writes, queue peak {}".format(
+              stats.decisions, stats.placed, stats.shed, stats.expired,
+              stats.released, stats.writes, stats.queue_peak),
+          file=sys.stderr)
+    return EXIT_DOMAIN_FAILURE if bad else EXIT_OK
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+    import tempfile
+    from .service import SoakConfig, SoakScenario
+    config = SoakConfig.smoke() if args.smoke else SoakConfig()
+    overrides = {"seed": _resolve_seed(args),
+                 "verify": not args.no_verify}
+    for attr, value in (("events", args.events),
+                        ("nodes", args.nodes),
+                        ("shards", args.shards),
+                        ("queue_limit", args.queue_limit),
+                        ("p999_budget_s", args.p999_budget),
+                        ("compact_every", args.compact_every)):
+        if value is not None:
+            overrides[attr] = value
+    tempdir = None
+    registry_dir = args.registry
+    if registry_dir is None:
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-soak-")
+        registry_dir = tempdir.name
+    config = dataclasses.replace(config, registry_dir=registry_dir,
+                                 **overrides)
+    stream = None
+    try:
+        if args.decisions is not None:
+            try:
+                stream = open(args.decisions, "w")
+            except OSError as exc:
+                print("repro soak: cannot open decision log: {}"
+                      .format(exc), file=sys.stderr)
+                return EXIT_IO_ERROR
+        report = SoakScenario(config).run(stream=stream)
+    finally:
+        if stream is not None:
+            stream.close()
+        if tempdir is not None:
+            tempdir.cleanup()
+    if args.report_file is not None:
+        try:
+            with open(args.report_file, "w") as fh:
+                json.dump(report.to_dict(), fh, indent=2,
+                          sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print("repro soak: cannot write report: {}".format(exc),
+                  file=sys.stderr)
+            return EXIT_IO_ERROR
+    print(report.format_report())
+    return EXIT_OK if report.passed() else EXIT_DOMAIN_FAILURE
+
+
 def _cmd_suites(args: argparse.Namespace) -> int:
     from .workloads import PROFILES
     rows = [[p.name, p.footprint_bytes >> 20, p.stream_fraction,
@@ -797,6 +947,58 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run this scenario instead of reading "
                                "a file")
 
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="run the placement daemon over a JSONL request stream "
+             "(stdin or --requests), writing one decision line per "
+             "placement/release")
+    serve.add_argument("--registry", default=None,
+                       help="existing sharded registry directory "
+                            "(a seeded in-memory fleet when omitted)")
+    serve.add_argument("--nodes", type=int, default=64,
+                       help="in-memory fleet size when no --registry")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="shard count for the in-memory fleet")
+    serve.add_argument("--queue-limit", type=int, default=512,
+                       help="placement admission watermark (requests "
+                            "beyond it are shed, not queued)")
+    serve.add_argument("--requests", default=None,
+                       help="JSONL request file (stdin when omitted)")
+    serve.add_argument("--out", default=None,
+                       help="decision JSONL file (stdout when omitted)")
+
+    soak = sub.add_parser(
+        "soak", parents=[common],
+        help="seeded closed-loop soak of the placement daemon: mixed "
+             "events, storms past the admission watermark, registry "
+             "churn; exits 1 unless the SoakReport gate passes")
+    soak.add_argument("--smoke", action="store_true",
+                      help="CI-sized preset (~20k events, 200 nodes)")
+    soak.add_argument("--events", type=int, default=None,
+                      help="total submitted events (default 1000000; "
+                           "smoke preset 20000)")
+    soak.add_argument("--nodes", type=int, default=None,
+                      help="fleet size (default 1490; smoke 200)")
+    soak.add_argument("--shards", type=int, default=None,
+                      help="registry shard count")
+    soak.add_argument("--queue-limit", type=int, default=None,
+                      help="placement admission watermark")
+    soak.add_argument("--p999-budget", type=float, default=None,
+                      help="p999 placement-latency budget, seconds")
+    soak.add_argument("--compact-every", type=int, default=None,
+                      help="auto-compact a shard after this many "
+                           "appends (0 disables)")
+    soak.add_argument("--registry", default=None,
+                      help="registry directory (a temp dir, cleaned "
+                           "up afterwards, when omitted)")
+    soak.add_argument("--decisions", default=None,
+                      help="write the full run's decision JSONL here")
+    soak.add_argument("--report-file", default=None,
+                      help="write the JSON SoakReport here")
+    soak.add_argument("--no-verify", action="store_true",
+                      help="skip the same-seed prefix-verification "
+                           "pass")
+
     sub.add_parser("suites", parents=[common],
                    help="list the workload suites")
     return parser
@@ -814,6 +1016,8 @@ _HANDLERS = {
     "recover": _cmd_recover,
     "perf": _cmd_perf,
     "obs": _cmd_obs,
+    "serve": _cmd_serve,
+    "soak": _cmd_soak,
     "suites": _cmd_suites,
 }
 

@@ -12,8 +12,9 @@ answer — the acceptance test for this PR.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from ..core.margin_selection import bucket_node_margin
 from ..hpc.cluster import ClusterNode
@@ -52,11 +53,19 @@ class PlacementService:
     ``cache_ttl_s`` bounds how long a derived margin-bucket view may
     serve queries without re-deriving; any registry mutation (detected
     via ``last_seq``) invalidates it immediately regardless of age.
+
+    Cache age is measured on an injectable **monotonic** clock (the
+    ``NodeMarginProfiler`` pattern): the default source is
+    ``time.monotonic``, never the wall clock, and explicitly passed
+    ``now_s`` values are clamped to the high-water mark — so an NTP
+    step backwards can neither make the view look younger than it is
+    nor wedge freshness arithmetic on a negative age.
     """
 
     def __init__(self, registry: MarginRegistry,
                  policy: Optional[AllocationPolicy] = None,
-                 cache_ttl_s: float = 300.0):
+                 cache_ttl_s: float = 300.0,
+                 clock: Optional[Callable[[], float]] = None):
         if cache_ttl_s <= 0:
             raise ValueError("cache_ttl_s must be positive")
         self.registry = registry
@@ -64,15 +73,29 @@ class PlacementService:
         self.cache_ttl_s = cache_ttl_s
         self.cache_hits = 0
         self.cache_misses = 0
+        self._clock = clock if clock is not None else _time.monotonic
+        self._seen_s = float("-inf")
         self._cached_at_s = 0.0
         self._cached_seq = -1
         self._cached_nodes: List[ClusterNode] = []
 
-    def cluster_view(self, now_s: float = 0.0) -> List[ClusterNode]:
+    def _now(self, now_s: Optional[float]) -> float:
+        """Resolve the query time: explicit ``now_s`` (simulation
+        clock) or the injectable monotonic clock, clamped to the
+        high-water mark so time never runs backwards for the cache."""
+        now = self._clock() if now_s is None else float(now_s)
+        if now < self._seen_s:
+            now = self._seen_s
+        self._seen_s = now
+        return now
+
+    def cluster_view(self, now_s: Optional[float] = None
+                     ) -> List[ClusterNode]:
         """Read-only :class:`ClusterNode` view of the fleet's effective
         margins (cached; see class docstring for invalidation)."""
+        now = self._now(now_s)
         fresh = (self._cached_seq == self.registry.last_seq and
-                 0.0 <= now_s - self._cached_at_s < self.cache_ttl_s)
+                 now - self._cached_at_s < self.cache_ttl_s)
         if fresh:
             self.cache_hits += 1
         else:
@@ -81,10 +104,10 @@ class PlacementService:
                 ClusterNode(rec.node, rec.effective_margin_mts)
                 for rec in self.registry.nodes()]
             self._cached_seq = self.registry.last_seq
-            self._cached_at_s = now_s
+            self._cached_at_s = now
         return list(self._cached_nodes)
 
-    def bucket_counts(self, now_s: float = 0.0) -> dict:
+    def bucket_counts(self, now_s: Optional[float] = None) -> dict:
         """Free-node count per margin bucket in the current view."""
         counts: dict = {}
         for node in self.cluster_view(now_s):
@@ -93,7 +116,8 @@ class PlacementService:
         return dict(sorted(counts.items(), reverse=True))
 
     def place(self, jobs: Sequence[PlacementRequest],
-              now_s: float = 0.0) -> List[Optional[Assignment]]:
+              now_s: Optional[float] = None
+              ) -> List[Optional[Assignment]]:
         """Assign nodes to a batch of jobs, in order.
 
         Each job takes its nodes out of the free pool for the rest of

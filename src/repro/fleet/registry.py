@@ -50,6 +50,16 @@ dropped at load time; corruption anywhere else raises
 :class:`RegistryError`.  Canonical serialization (sorted keys, fixed
 separators) makes snapshots byte-comparable: the same fleet seed
 produces byte-identical snapshot files, which CI asserts.
+
+Concurrency contract — **single writer per registry (per shard)**:
+appends are unlocked, so exactly one process may ``record`` into a
+given registry directory at a time (the sharded service holds one
+writer per shard; see ``repro.service``).  Concurrent *readers* are
+always safe: an append is a single sequential write, so a reader can
+at worst observe a clean prefix of the log plus one torn final line —
+exactly the shape the load path already tolerates — and never a
+sequence gap, because seqs are assigned and written in order by the
+one writer.
 """
 
 from __future__ import annotations
@@ -478,8 +488,23 @@ class MarginRegistry:
         recognizes as already folded (``seq <= snapshot.last_seq``).
         """
         self.write_snapshot()
+        return self.truncate_log()
+
+    def truncate_log(self) -> int:
+        """Empty the on-disk event log and drop the in-memory retained
+        events it covered, advancing the retention horizon.
+
+        Only valid immediately after :meth:`write_snapshot` (the
+        snapshot must already hold every event's net effect) —
+        :meth:`compact` is the safe pairing; the sharded service calls
+        the two halves separately so crash drills can land between
+        them.  Dropping the retained list is what keeps a long-running
+        daemon's memory bounded: without it every compacted event would
+        stay resident forever.  ``events_since`` callers asking for a
+        seq older than the new horizon get ``complete=False`` and fall
+        back to net state, exactly as after a snapshot load."""
         dropped = 0
-        if self.events_path.is_file():
+        if self.path is not None and self.events_path.is_file():
             dropped = sum(
                 1 for line in self.events_path.read_text().splitlines()
                 if line.strip())
@@ -487,4 +512,6 @@ class MarginRegistry:
             tmp.write_text("")
             os.replace(tmp, self.events_path)
             fsync_dir(self.path)
+        self._retained = []
+        self.horizon_seq = self.last_seq
         return dropped

@@ -86,7 +86,12 @@ def to_prometheus(snapshot: Dict[str, List[dict]]) -> str:
         lines.append("{}_count{} {}".format(full, _label_str(labels),
                                             _fmt(row["count"])))
         if row["count"]:
-            for stat in ("min", "max"):
+            # min/max plus the exact nearest-rank quantiles, as
+            # companion gauges (p50/p99/p999 feed the soak gate;
+            # `.get` keeps snapshots from older processes exportable).
+            for stat in ("min", "max", "p50", "p99", "p999"):
+                if row.get(stat) is None:
+                    continue
                 stat_full = _metric_name(row["subsystem"],
                                          row["name"] + "_" + stat)
                 _header(stat_full, "gauge")

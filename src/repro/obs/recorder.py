@@ -22,14 +22,16 @@ seeded traces byte-identical across runs.
 
 from __future__ import annotations
 
+import math
 import time
+from array import array
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from .trace import NullTraceSink
 
 __all__ = ["MetricKey", "NullRecorder", "Recorder", "get_recorder",
-           "set_recorder", "recording", "DEFAULT_BUCKETS"]
+           "set_recorder", "recording", "DEFAULT_BUCKETS", "QUANTILES"]
 
 #: One metric series: (subsystem, name, sorted (label, value) pairs).
 MetricKey = Tuple[str, str, Tuple[Tuple[str, str], ...]]
@@ -86,11 +88,26 @@ class NullRecorder:
         return {"counters": [], "gauges": [], "histograms": []}
 
 
+#: Exact quantiles reported in every histogram summary (the soak gate
+#: consumes p999; see DESIGN.md §14).
+QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50), ("p99", 0.99), ("p999", 0.999))
+
+
 class _Histogram:
-    """Fixed-bucket histogram with count/sum/min/max."""
+    """Fixed-bucket histogram with count/sum/min/max and *exact*
+    quantiles.
+
+    Bucket counts alone can only interpolate percentiles, which is
+    useless for a tail-latency gate whose budget sits inside one
+    log-spaced bucket — so every observation is also kept in a compact
+    ``array('d')`` (8 bytes each; a million-observation soak series
+    costs ~8 MB) and quantiles are computed by nearest-rank over the
+    sorted samples on demand.
+    """
 
     __slots__ = ("bounds", "bucket_counts", "count", "total",
-                 "minimum", "maximum")
+                 "minimum", "maximum", "samples")
 
     def __init__(self, bounds: Tuple[float, ...]):
         self.bounds = bounds
@@ -99,6 +116,7 @@ class _Histogram:
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        self.samples = array("d")
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -107,15 +125,31 @@ class _Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        self.samples.append(value)
         for i, bound in enumerate(self.bounds):
             if value <= bound:
                 self.bucket_counts[i] += 1
 
+    def quantiles(self) -> Dict[str, float]:
+        """Exact nearest-rank quantiles (the q-th value is the
+        ``ceil(q*n)``-th smallest observation), keyed by the
+        :data:`QUANTILES` names."""
+        ordered = sorted(self.samples)
+        n = len(ordered)
+        out: Dict[str, float] = {}
+        for name, q in QUANTILES:
+            rank = min(n, max(1, math.ceil(q * n)))
+            out[name] = ordered[rank - 1]
+        return out
+
     def to_dict(self) -> dict:
-        return {"count": self.count, "sum": self.total,
-                "min": self.minimum, "max": self.maximum,
-                "buckets": [[b, c] for b, c in
-                            zip(self.bounds, self.bucket_counts)]}
+        doc = {"count": self.count, "sum": self.total,
+               "min": self.minimum, "max": self.maximum,
+               "buckets": [[b, c] for b, c in
+                           zip(self.bounds, self.bucket_counts)]}
+        if self.count:
+            doc.update(self.quantiles())
+        return doc
 
 
 class Recorder(NullRecorder):
@@ -214,6 +248,14 @@ class Recorder(NullRecorder):
     def gauge_value(self, subsystem: str, name: str,
                     **labels: object) -> Optional[float]:
         return self._gauges.get(metric_key(subsystem, name, labels))
+
+    def histogram_stats(self, subsystem: str, name: str,
+                        **labels: object) -> Optional[dict]:
+        """One histogram series' summary (count/sum/min/max/quantiles)
+        as a plain dict, or None when the series was never observed —
+        the accessor the soak gate reads p999 through."""
+        hist = self._histograms.get(metric_key(subsystem, name, labels))
+        return hist.to_dict() if hist is not None else None
 
 
 #: The process-wide recorder consulted by instrumented subsystems.

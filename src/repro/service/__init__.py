@@ -1,0 +1,26 @@
+"""Live placement service (DESIGN.md §14).
+
+The operational layer on top of the fleet subsystem: a
+:class:`ShardedRegistry` partitions the margin registry's JSONL log
+across N independently compacted shards under a deterministic
+node→shard hash; a :class:`PlacementDaemon` answers placement,
+release, and registry-write traffic from one asyncio controller loop
+with bounded queueing, admission control, and per-shard TTL'd cluster
+views; and a :class:`SoakScenario` drives the pair with a seeded
+million-event closed loop whose :class:`SoakReport` gates determinism
+and tail latency.  ``repro serve`` and ``repro soak`` are the CLI
+surface.
+"""
+
+from .daemon import (ClockTick, DaemonConfig, DaemonStats, Decision,
+                     PlaceRequest, PlacementDaemon, RegistryWrite,
+                     ReleaseRequest, STATUSES)
+from .sharding import DEFAULT_SHARDS, ShardedRegistry, shard_for_node
+from .soak import SoakConfig, SoakReport, SoakScenario
+
+__all__ = [
+    "ClockTick", "DEFAULT_SHARDS", "DaemonConfig", "DaemonStats",
+    "Decision", "PlaceRequest", "PlacementDaemon", "RegistryWrite",
+    "ReleaseRequest", "STATUSES", "ShardedRegistry", "SoakConfig",
+    "SoakReport", "SoakScenario", "shard_for_node",
+]

@@ -104,6 +104,32 @@ def test_cache_ttl_validation():
         PlacementService(_mixed_registry(), cache_ttl_s=0.0)
 
 
+def test_cache_age_survives_clock_step_backwards():
+    """NTP-step regression: the injectable clock jumping backwards
+    (or a caller passing a smaller now_s) must not make the cached
+    view look younger — the high-water clamp freezes time instead."""
+    ticks = iter([100.0, 20.0, 150.0])
+    service = PlacementService(_mixed_registry(), cache_ttl_s=100.0,
+                               clock=lambda: next(ticks))
+    service.place([2])                    # miss at t=100
+    service.place([2])                    # clock stepped back to 20
+    assert service.cache_hits == 1        # clamped to 100: still fresh
+    service.place([2])                    # t=150: age 50 < ttl
+    assert service.cache_hits == 2
+    assert service.cache_misses == 1
+
+
+def test_explicit_now_s_backwards_is_clamped():
+    service = PlacementService(_mixed_registry(), cache_ttl_s=50.0)
+    service.place([2], now_s=100.0)
+    service.place([2], now_s=0.0)         # stale caller clock
+    assert service.cache_hits == 1
+    # Time stays at the high-water mark, so the TTL still expires
+    # relative to it rather than to the bogus earlier value.
+    service.place([2], now_s=160.0)
+    assert service.cache_misses == 2
+
+
 # -- acceptance: a demotion changes the next placement ------------------------
 
 

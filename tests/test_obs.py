@@ -74,6 +74,47 @@ def test_bucket_validation():
         Recorder(buckets=(10.0, 1.0))
 
 
+def test_histogram_quantiles_are_exact_nearest_rank():
+    rec = Recorder()
+    values = list(range(1, 1001))        # 1..1000
+    # Insertion order must not matter: quantiles sort the samples.
+    for v in reversed(values):
+        rec.observe("svc", "lat", float(v))
+    [hist] = rec.snapshot()["histograms"]
+    assert hist["p50"] == 500.0          # ceil(0.5 * 1000) = rank 500
+    assert hist["p99"] == 990.0
+    assert hist["p999"] == 999.0
+    assert hist["max"] == 1000.0
+
+
+def test_histogram_quantiles_single_sample_and_clamping():
+    rec = Recorder()
+    rec.observe("svc", "lat", 0.25)
+    [hist] = rec.snapshot()["histograms"]
+    # With one sample every quantile is that sample (rank clamps to 1).
+    assert hist["p50"] == hist["p99"] == hist["p999"] == 0.25
+
+
+def test_histogram_quantiles_deterministic_across_recorders():
+    def build(order):
+        rec = Recorder()
+        for v in order:
+            rec.observe("svc", "lat", v)
+        return rec.histogram_stats("svc", "lat")
+
+    values = [0.5, 0.1, 0.9, 0.3, 0.7]
+    assert build(values) == build(list(reversed(values)))
+
+
+def test_histogram_stats_accessor():
+    rec = Recorder()
+    assert rec.histogram_stats("svc", "lat") is None
+    rec.observe("svc", "lat", 1.5, shard="003")
+    stats = rec.histogram_stats("svc", "lat", shard="003")
+    assert stats["count"] == 1
+    assert stats["p999"] == 1.5
+
+
 def test_snapshot_sorted_and_json_plain():
     rec = Recorder()
     rec.counter("z", "last")
@@ -203,6 +244,33 @@ def test_prometheus_histogram_series():
     assert "repro_fleet_profile_latency_s_count 2" in text
     assert "repro_fleet_profile_latency_s_min 0.5" in text
     assert "repro_fleet_profile_latency_s_max 5.0" in text
+
+
+def test_prometheus_exports_exact_quantiles():
+    text = to_prometheus(_sample_snapshot())
+    assert "repro_fleet_profile_latency_s_p50 0.5" in text
+    assert "repro_fleet_profile_latency_s_p99 5.0" in text
+    assert "repro_fleet_profile_latency_s_p999 5.0" in text
+
+
+def test_json_export_carries_exact_quantiles():
+    doc = json.loads(to_json(_sample_snapshot()))
+    [hist] = doc["histograms"]
+    assert hist["p50"] == 0.5
+    assert hist["p99"] == 5.0
+    assert hist["p999"] == 5.0
+
+
+def test_exporters_tolerate_quantile_free_snapshots():
+    # Hand-built or pre-upgrade snapshots may lack the quantile keys;
+    # the exporters must skip them, not crash.
+    snapshot = {"counters": [], "gauges": [], "histograms": [{
+        "subsystem": "fleet", "name": "lat", "labels": {},
+        "count": 1, "sum": 1.0, "min": 1.0, "max": 1.0,
+        "buckets": [[1.0, 1]]}]}
+    text = to_prometheus(snapshot)
+    assert "repro_fleet_lat_min 1.0" in text
+    assert "_p999" not in text
 
 
 def test_prometheus_escapes_label_values():
