@@ -42,6 +42,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..core.backoff import BackoffPolicy
 from ..obs import get_recorder
 from ..resilience.degradation import DegradationController
 
@@ -160,11 +161,10 @@ class AdaptiveMarginController(DegradationController):
                 if failures >= self.probe_budget:
                     park_ns = self.probe_window_ns
                 else:
-                    park_ns = min(
-                        self.probe_window_ns,
-                        self.clean_window_ns *
-                        self.probe_backoff_windows *
-                        (2.0 ** (failures - 1)))
+                    park_ns = BackoffPolicy(
+                        base=(self.clean_window_ns *
+                              self.probe_backoff_windows),
+                        cap=self.probe_window_ns).delay(failures)
                 self._park_until_ns = max(self._park_until_ns,
                                           now_ns + park_ns)
                 rec = get_recorder()

@@ -566,6 +566,97 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return EXIT_OK if events else EXIT_DOMAIN_FAILURE
 
 
+def _cmd_serve_ha(args: argparse.Namespace, seed: int) -> int:
+    """``repro serve --daemons N``: the HA control plane answers the
+    same JSONL request stream from N lease-holding daemons."""
+    import json
+    from .fleet.registry import EVENT_KINDS, RegistryError
+    from .service import HAConfig, HAControlPlane, RegistryWrite
+    from .service.sharding import DEFAULT_SHARDS
+    if args.registry is not None:
+        print("repro serve: --registry is not supported with "
+              "--daemons > 1 (the HA plane seeds its own fleet)",
+              file=sys.stderr)
+        return EXIT_IO_ERROR
+    config = HAConfig(nodes=args.nodes,
+                      shards=(args.shards if args.shards is not None
+                              else DEFAULT_SHARDS),
+                      daemons=args.daemons, seed=seed)
+    try:
+        if args.requests is not None:
+            with open(args.requests) as fh:
+                lines = fh.readlines()
+        else:
+            lines = sys.stdin.readlines()
+    except OSError as exc:
+        print("repro serve: cannot read requests: {}".format(exc),
+              file=sys.stderr)
+        return EXIT_IO_ERROR
+    out_fh = None
+    if args.out is not None:
+        try:
+            out_fh = open(args.out, "w")
+        except OSError as exc:
+            print("repro serve: cannot open output: {}".format(exc),
+                  file=sys.stderr)
+            return EXIT_IO_ERROR
+    stream = out_fh if out_fh is not None else sys.stdout
+    plane = HAControlPlane(
+        config, decision_sink=lambda d: stream.write(d.to_json()
+                                                     + "\n"))
+    bad = 0
+    try:
+        for lineno, line in enumerate(lines, 1):
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+                op = doc["op"]
+                if op == "place":
+                    plane.submit_place(int(doc["job"]),
+                                       int(doc.get("nodes", 1)))
+                elif op == "release":
+                    plane.submit_release(int(doc["job"]))
+                elif op == "write":
+                    kind = str(doc["kind"])
+                    if kind not in EVENT_KINDS:
+                        raise ValueError("unknown event kind {!r}"
+                                         .format(kind))
+                    plane.submit_write(RegistryWrite(
+                        kind, int(doc["node"]),
+                        dict(doc.get("payload", {}))))
+                elif op == "tick":
+                    plane.tick(float(doc["now_s"]))
+                else:
+                    raise ValueError("unknown op {!r}".format(op))
+            except (KeyError, TypeError, ValueError) as exc:
+                print("repro serve: bad request line {}: {}"
+                      .format(lineno, exc), file=sys.stderr)
+                bad += 1
+        guard = 0
+        while plane.pending and guard < 100_000:
+            plane.tick(plane.now_s + 0.25)
+            guard += 1
+        plane.stop()
+    except RegistryError as exc:
+        print("repro serve: registry write failed: {}".format(exc),
+              file=sys.stderr)
+        return EXIT_DOMAIN_FAILURE
+    finally:
+        if out_fh is not None:
+            out_fh.close()
+    stats = plane.stats
+    print("repro serve: {} daemons, {} decisions (placed {}, "
+          "unsatisfiable {}, released {}), {} writes, {} failovers, "
+          "{} fenced writes".format(
+              args.daemons, stats.decisions, stats.placed,
+              stats.unsatisfiable, stats.released, stats.writes,
+              plane.failover.failovers,
+              plane.table.stats.fenced_writes),
+          file=sys.stderr)
+    return EXIT_DOMAIN_FAILURE if bad else EXIT_OK
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import json
@@ -575,6 +666,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                           RegistryWrite, ReleaseRequest,
                           ShardedRegistry)
     seed = _resolve_seed(args)
+    if args.daemons > 1:
+        return _cmd_serve_ha(args, seed)
     try:
         if args.registry is not None:
             registry = ShardedRegistry(args.registry, create=False)
@@ -662,11 +755,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return EXIT_DOMAIN_FAILURE if bad else EXIT_OK
 
 
+def _cmd_soak_failover(args: argparse.Namespace) -> int:
+    """``repro soak --failover``: the HA failover drill — seeded
+    faults against N daemons, decision stream compared against a
+    never-crashed single-daemon reference."""
+    import dataclasses
+    import tempfile
+    from .service import HAConfig, HAFailoverDrill
+    config = HAConfig.smoke() if args.smoke else HAConfig()
+    overrides = {"seed": _resolve_seed(args)}
+    for attr, value in (("events", args.events),
+                        ("nodes", args.nodes),
+                        ("shards", args.shards),
+                        ("daemons", args.daemons),
+                        ("p999_budget_s", args.p999_budget),
+                        ("compact_every", args.compact_every)):
+        if value is not None:
+            overrides[attr] = value
+    tempdir = None
+    registry_dir = args.registry
+    if registry_dir is None:
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-ha-")
+        registry_dir = tempdir.name
+    config = dataclasses.replace(config, registry_dir=registry_dir,
+                                 **overrides)
+    stream = ref_stream = None
+    try:
+        try:
+            if args.decisions is not None:
+                stream = open(args.decisions, "w")
+            if args.reference_decisions is not None:
+                ref_stream = open(args.reference_decisions, "w")
+        except OSError as exc:
+            print("repro soak: cannot open decision log: {}"
+                  .format(exc), file=sys.stderr)
+            return EXIT_IO_ERROR
+        result = HAFailoverDrill(config).run(
+            stream=stream, reference_stream=ref_stream)
+    finally:
+        for fh in (stream, ref_stream):
+            if fh is not None:
+                fh.close()
+        if tempdir is not None:
+            tempdir.cleanup()
+    if args.report_file is not None:
+        try:
+            with open(args.report_file, "w") as fh:
+                fh.write(result.report.render())
+        except OSError as exc:
+            print("repro soak: cannot write report: {}".format(exc),
+                  file=sys.stderr)
+            return EXIT_IO_ERROR
+    print(result.format_summary())
+    return EXIT_OK if result.passed() else EXIT_DOMAIN_FAILURE
+
+
 def _cmd_soak(args: argparse.Namespace) -> int:
     import dataclasses
     import json
     import tempfile
     from .service import SoakConfig, SoakScenario
+    if args.failover:
+        return _cmd_soak_failover(args)
     config = SoakConfig.smoke() if args.smoke else SoakConfig()
     overrides = {"seed": _resolve_seed(args),
                  "verify": not args.no_verify}
@@ -966,6 +1116,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL request file (stdin when omitted)")
     serve.add_argument("--out", default=None,
                        help="decision JSONL file (stdout when omitted)")
+    serve.add_argument("--daemons", type=int, default=1,
+                       help="run N placement daemons behind "
+                            "shard-group leases with fencing tokens "
+                            "(the HA control plane) instead of one "
+                            "asyncio daemon")
 
     soak = sub.add_parser(
         "soak", parents=[common],
@@ -998,6 +1153,21 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--no-verify", action="store_true",
                       help="skip the same-seed prefix-verification "
                            "pass")
+    soak.add_argument("--failover", action="store_true",
+                      help="run the HA failover drill instead: "
+                           "SIGKILL mid-lease, clock-skewed renewal, "
+                           "torn lease record, dual-owner partition; "
+                           "decision stream must match a "
+                           "never-crashed single-daemon run "
+                           "(--report-file then holds the rendered "
+                           "survivability report, byte-reproducible "
+                           "per seed)")
+    soak.add_argument("--daemons", type=int, default=None,
+                      help="HA daemon count for --failover "
+                           "(default 2)")
+    soak.add_argument("--reference-decisions", default=None,
+                      help="with --failover: write the single-daemon "
+                           "reference decision JSONL here")
 
     sub.add_parser("suites", parents=[common],
                    help="list the workload suites")

@@ -1,5 +1,6 @@
 """Hetero-DMR: the paper's primary contribution (Section III)."""
 
+from .backoff import BackoffPolicy
 from .config import (DUAL_COPY_UTILIZATION_LIMIT, EPOCH_HOURS,
                      HeteroDMRConfig, REPLICATION_UTILIZATION_LIMIT,
                      WRITE_BATCH_TARGET)
@@ -15,6 +16,7 @@ from .replication import (HeteroDMRManager, ReplicationError,
                           UncorrectableError)
 
 __all__ = [
+    "BackoffPolicy",
     "BaselinePolicy", "DUAL_COPY_UTILIZATION_LIMIT", "EPOCH_HOURS",
     "EpochGuard", "FmrPolicy", "HeteroDMRConfig", "HeteroDMRManager",
     "HeteroDMRPolicy", "HeteroFmrPolicy", "NODE_MARGIN_BUCKETS", "NodeMarginProfiler", "NodeProfile",

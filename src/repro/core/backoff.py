@@ -1,0 +1,69 @@
+"""Seeded exponential backoff shared by every retry loop.
+
+The repo grew three independent backoff implementations — profiling
+retries (:meth:`~repro.core.profiling.NodeMarginProfiler.profile_with_retry`),
+supervised node restarts (:class:`~repro.recovery.supervisor.NodeSupervisor`),
+and the adaptive controller's probe park — each re-deriving the same
+``min(cap, base * multiplier**(attempt-1))`` curve with slightly
+different spellings.  :class:`BackoffPolicy` is the one shared curve,
+with optional **deterministic seeded jitter**: the jitter of attempt
+``k`` depends only on ``(seed, key, k)``, never on wall clock or a
+shared RNG, so every caller stays byte-reproducible at any concurrency
+(the invariant the fleet profiler and chaos campaigns are built on).
+
+The jitter mixing — ``Random(seed*1_000_003 + key*7919 + attempt)`` —
+is the exact formula the node supervisor shipped with, so refactoring
+the supervisor onto this policy changes no recorded backoff by a
+single bit.  ``key`` identifies the retrying entity (a node id, a
+shard-group id); callers without a natural key use the default 0.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["BackoffPolicy"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff curve with bounded, seeded jitter.
+
+    ``delay(k)`` for attempt ``k`` (1-based) is::
+
+        min(cap, base * multiplier**(k-1)) * (1 + jitter_fraction * u)
+
+    where ``u`` is a uniform [0, 1) draw seeded by ``(seed, key, k)``
+    — deterministic, per-attempt, shared-state-free.  With the default
+    ``jitter_fraction`` of 0 the curve is exact, which is what the
+    profiling retry and probe-park call sites need (their existing
+    behavior is jitterless and tested byte-for-byte)."""
+
+    base: float
+    cap: float = float("inf")
+    multiplier: float = 2.0
+    jitter_fraction: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.base <= 0:
+            raise ValueError("base must be positive")
+        if self.cap <= 0:
+            raise ValueError("cap must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+
+    def delay(self, attempt: int, key: int = 0) -> float:
+        """Backoff before retry ``attempt`` (1-based: the wait after
+        the first failure is ``delay(1)``)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.cap, self.base * self.multiplier ** (attempt - 1))
+        if self.jitter_fraction:
+            rng = random.Random(self.seed * 1_000_003 +
+                                key * 7919 + attempt)
+            raw *= 1.0 + self.jitter_fraction * rng.random()
+        return raw

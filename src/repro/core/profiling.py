@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..characterization.modules import SyntheticModule
 from ..characterization.testbench import BootFailure, TestMachine
+from .backoff import BackoffPolicy
 from .margin_selection import (bucket_node_margin, channel_margin,
                                node_margin, snap_to_step)
 
@@ -117,8 +118,8 @@ class NodeMarginProfiler:
             raise ValueError("max_retries must be non-negative")
         if backoff_s <= 0:
             raise ValueError("backoff_s must be positive")
+        policy = BackoffPolicy(base=backoff_s)
         t = now_s
-        delay = backoff_s
         attempts = 0
         while True:
             attempts += 1
@@ -129,8 +130,7 @@ class NodeMarginProfiler:
                 self.failed_attempts += 1
                 if attempts > max_retries:
                     return ProfileOutcome(None, attempts, t - now_s)
-                t += delay
-                delay *= 2.0
+                t += policy.delay(attempts)
 
     def needs_reprofile(self, now_s: float) -> bool:
         """Has the periodic idle re-profiling interval elapsed?"""

@@ -21,11 +21,11 @@ Every decision is returned as a :class:`RestartDecision` so callers
 
 from __future__ import annotations
 
-import random
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional
 
+from ..core.backoff import BackoffPolicy
 from ..fleet.registry import MarginRegistry
 
 NS_PER_HOUR = 3_600_000_000_000.0
@@ -104,10 +104,14 @@ class NodeSupervisor:
 
     # -- crash handling ------------------------------------------------------------
 
-    def _jitter(self, attempt: int) -> float:
-        rng = random.Random(self.seed * 1_000_003 +
-                            self.node * 7919 + attempt)
-        return self.jitter_fraction * rng.random()
+    def backoff_policy(self) -> BackoffPolicy:
+        """The restart-backoff curve (shared :mod:`repro.core.backoff`
+        formula; the jitter of attempt ``k`` depends only on
+        ``(seed, node, k)``)."""
+        return BackoffPolicy(base=self.backoff_base_ns,
+                             cap=self.backoff_cap_ns,
+                             jitter_fraction=self.jitter_fraction,
+                             seed=self.seed)
 
     def report_crash(self, now_ns: float,
                      reason: str = "crash") -> RestartDecision:
@@ -134,9 +138,7 @@ class NodeSupervisor:
             return RestartDecision("retire", attempt, now_ns, 0.0,
                                    detail)
         self.state = "restarting"
-        backoff = min(self.backoff_cap_ns,
-                      self.backoff_base_ns * (2 ** (attempt - 1)))
-        backoff *= 1.0 + self._jitter(attempt)
+        backoff = self.backoff_policy().delay(attempt, key=self.node)
         self.events.append(SupervisorEvent(
             now_ns, "crash",
             "{} (attempt {}/{}, backoff {:.3f}s)".format(

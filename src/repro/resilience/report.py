@@ -90,6 +90,33 @@ class SurvivabilityReport:
     probe_promotions: int = 0
     probes_suppressed: int = 0
     drift_advisories: int = 0
+    # HA control plane (repro.service.ha); all zero/empty for the
+    # classic campaign, which keeps its report byte-identical.
+    ha_scenario: str = ""
+    ha_daemons: int = 0
+    ha_groups: int = 0
+    ha_decisions: int = 0
+    daemon_crashes: int = 0
+    daemon_partitions: int = 0
+    failovers: int = 0
+    failover_giveups: int = 0          # must stay zero
+    lease_acquires: int = 0
+    lease_renewals: int = 0
+    renewals_rejected_skew: int = 0
+    renewals_rejected_expired: int = 0
+    torn_lease_records: int = 0
+    fenced_writes: int = 0
+    arb_reserves: int = 0
+    arb_commits: int = 0
+    arb_aborts: int = 0
+    arb_preemptions: int = 0
+    arb_retries: int = 0
+    ha_checkpoints: int = 0
+    ha_restores: int = 0
+    double_commits: int = 0            # must stay zero
+    expired_lease_decisions: int = 0   # must stay zero
+    prefix_consistent: bool = False
+    decision_prefix_len: int = 0
 
     # -- verdict --------------------------------------------------------------------
 
@@ -111,23 +138,29 @@ class SurvivabilityReport:
         if self.uncorrectable_errors:
             out.append("{} uncorrectable errors on the original path"
                        .format(self.uncorrectable_errors))
-        if self.injected_errors == 0:
-            out.append("no copy corruption injected")
-        if self.transition_faults == 0:
-            out.append("no frequency-transition faults exercised")
-        if self.epoch_trips == 0:
-            out.append("epoch guard never tripped")
-        if self.remaps == 0:
-            out.append("no permanent-fault remap exercised")
-        if self.thermal_multiplier_max <= 1.0 and \
-                not self.drift_scenario:
-            out.append("no thermal excursion applied")
-        if not self.demoted_to_spec:
-            out.append("ladder never demoted to specification")
-        if not self.repromoted:
-            out.append("ladder never re-promoted after a clean window")
-        if not self.placement_consistent:
-            out.append("cluster placement inconsistent with margins")
+        if not self.ha_scenario:
+            # Datapath fault classes are exercised by the classic and
+            # moving-margin campaigns; the HA failover drill runs its
+            # own fault matrix (gated below) instead.
+            if self.injected_errors == 0:
+                out.append("no copy corruption injected")
+            if self.transition_faults == 0:
+                out.append("no frequency-transition faults exercised")
+            if self.epoch_trips == 0:
+                out.append("epoch guard never tripped")
+            if self.remaps == 0:
+                out.append("no permanent-fault remap exercised")
+            if self.thermal_multiplier_max <= 1.0 and \
+                    not self.drift_scenario:
+                out.append("no thermal excursion applied")
+            if not self.demoted_to_spec:
+                out.append("ladder never demoted to specification")
+            if not self.repromoted:
+                out.append("ladder never re-promoted after a clean "
+                           "window")
+            if not self.placement_consistent:
+                out.append("cluster placement inconsistent with "
+                           "margins")
         if self.conservative_violations:
             out.append("{} conservative-restore violations (recovery)"
                        .format(self.conservative_violations))
@@ -162,6 +195,37 @@ class SurvivabilityReport:
                         "beat static baseline {:.4f} rung-h".format(
                             self.tracking_error_rung_h,
                             self.tracking_error_static_rung_h))
+        if self.ha_scenario:
+            if self.double_commits:
+                out.append("{} double-committed placements"
+                           .format(self.double_commits))
+            if self.expired_lease_decisions:
+                out.append("{} decisions served under an expired or "
+                           "stale lease"
+                           .format(self.expired_lease_decisions))
+            if not self.prefix_consistent:
+                out.append("post-failover decision stream not "
+                           "prefix-consistent with the single-daemon "
+                           "reference")
+            if self.ha_decisions == 0:
+                out.append("HA drill emitted no decisions")
+            if self.daemon_crashes == 0:
+                out.append("no daemon was crashed mid-lease")
+            if self.daemon_partitions == 0:
+                out.append("no daemon partition was exercised")
+            if self.failovers == 0:
+                out.append("no shard group ever failed over")
+            if self.failover_giveups:
+                out.append("{} orphaned shard groups never "
+                           "re-acquired".format(self.failover_giveups))
+            if self.renewals_rejected_skew == 0:
+                out.append("no clock-skewed renewal was rejected")
+            if self.torn_lease_records == 0:
+                out.append("no torn lease record was exercised")
+            if self.fenced_writes == 0:
+                out.append("no deposed daemon's write was fenced")
+            if self.ha_daemons >= 2 and self.arb_commits == 0:
+                out.append("cross-shard arbitration never committed")
         return out
 
     def passed(self) -> bool:
@@ -232,6 +296,37 @@ class SurvivabilityReport:
                 ("probe_promotions", self.probe_promotions),
                 ("probes_suppressed", self.probes_suppressed),
                 ("drift_advisories", self.drift_advisories),
+            ]))
+        if self.ha_scenario:
+            sections.append(format_kv("HA control plane", [
+                ("ha_scenario", self.ha_scenario),
+                ("daemons", self.ha_daemons),
+                ("shard_groups", self.ha_groups),
+                ("decisions", self.ha_decisions),
+                ("daemon_crashes", self.daemon_crashes),
+                ("daemon_partitions", self.daemon_partitions),
+                ("failovers", self.failovers),
+                ("failover_giveups", self.failover_giveups),
+                ("lease_acquires", self.lease_acquires),
+                ("lease_renewals", self.lease_renewals),
+                ("renewals_rejected_skew",
+                 self.renewals_rejected_skew),
+                ("renewals_rejected_expired",
+                 self.renewals_rejected_expired),
+                ("torn_lease_records", self.torn_lease_records),
+                ("fenced_writes", self.fenced_writes),
+                ("arb_reserves", self.arb_reserves),
+                ("arb_commits", self.arb_commits),
+                ("arb_aborts", self.arb_aborts),
+                ("arb_preemptions", self.arb_preemptions),
+                ("arb_retries", self.arb_retries),
+                ("checkpoints", self.ha_checkpoints),
+                ("restores", self.ha_restores),
+                ("double_commits", self.double_commits),
+                ("expired_lease_decisions",
+                 self.expired_lease_decisions),
+                ("prefix_consistent", self.prefix_consistent),
+                ("decision_prefix_len", self.decision_prefix_len),
             ]))
         sections += [
             format_kv("Crash recovery", [

@@ -1,4 +1,4 @@
-"""Live placement service (DESIGN.md §14).
+"""Live placement service (DESIGN.md §14, §15).
 
 The operational layer on top of the fleet subsystem: a
 :class:`ShardedRegistry` partitions the margin registry's JSONL log
@@ -8,19 +8,35 @@ release, and registry-write traffic from one asyncio controller loop
 with bounded queueing, admission control, and per-shard TTL'd cluster
 views; and a :class:`SoakScenario` drives the pair with a seeded
 million-event closed loop whose :class:`SoakReport` gates determinism
-and tail latency.  ``repro serve`` and ``repro soak`` are the CLI
-surface.
+and tail latency.  The HA tier (:mod:`repro.service.ha`) replicates
+the daemon behind shard-group leases with fencing tokens
+(:mod:`repro.service.lease`), two-phase cross-shard arbitration
+(:mod:`repro.service.arbitration`), and supervisor-driven failover,
+proven by :class:`HAFailoverDrill`.  ``repro serve`` and ``repro
+soak`` are the CLI surface.
 """
 
-from .daemon import (ClockTick, DaemonConfig, DaemonStats, Decision,
-                     PlaceRequest, PlacementDaemon, RegistryWrite,
-                     ReleaseRequest, STATUSES)
+from .arbitration import (ArbitrationStats, CrossShardArbiter,
+                          Reservation)
+from .daemon import (BucketPool, ClockTick, DaemonConfig, DaemonStats,
+                     Decision, PlaceRequest, PlacementDaemon,
+                     RegistryWrite, ReleaseRequest, STATUSES)
+from .ha import (FailoverManager, HAConfig, HAControlPlane, HADaemon,
+                 HADrillResult, HAFailoverDrill, ShardGroups)
+from .lease import (CONTROL_LOG_FILE, ControlEvent, ControlLog,
+                    LeaseError, LeaseRecord, LeaseTable,
+                    verify_control_log)
 from .sharding import DEFAULT_SHARDS, ShardedRegistry, shard_for_node
 from .soak import SoakConfig, SoakReport, SoakScenario
 
 __all__ = [
-    "ClockTick", "DEFAULT_SHARDS", "DaemonConfig", "DaemonStats",
-    "Decision", "PlaceRequest", "PlacementDaemon", "RegistryWrite",
-    "ReleaseRequest", "STATUSES", "ShardedRegistry", "SoakConfig",
-    "SoakReport", "SoakScenario", "shard_for_node",
+    "ArbitrationStats", "BucketPool", "CONTROL_LOG_FILE", "ClockTick",
+    "ControlEvent", "ControlLog", "CrossShardArbiter",
+    "DEFAULT_SHARDS", "DaemonConfig", "DaemonStats", "Decision",
+    "FailoverManager", "HAConfig", "HAControlPlane", "HADaemon",
+    "HADrillResult", "HAFailoverDrill", "LeaseError", "LeaseRecord",
+    "LeaseTable", "PlaceRequest", "PlacementDaemon", "RegistryWrite",
+    "ReleaseRequest", "Reservation", "STATUSES", "ShardGroups",
+    "ShardedRegistry", "SoakConfig", "SoakReport", "SoakScenario",
+    "shard_for_node", "verify_control_log",
 ]

@@ -57,9 +57,9 @@ from ..fleet.registry import EVENT_KINDS, canonical_json
 from ..obs import get_recorder
 from .sharding import ShardedRegistry
 
-__all__ = ["ClockTick", "DaemonConfig", "DaemonStats", "Decision",
-           "PlaceRequest", "PlacementDaemon", "RegistryWrite",
-           "ReleaseRequest", "STATUSES"]
+__all__ = ["BucketPool", "ClockTick", "DaemonConfig", "DaemonStats",
+           "Decision", "PlaceRequest", "PlacementDaemon",
+           "RegistryWrite", "ReleaseRequest", "STATUSES"]
 
 #: Decision statuses, in documentation order.
 PLACED = "placed"
@@ -287,6 +287,11 @@ class _BucketPool:
             del self._busy[node]
             self._insert_free(node, self._margin[node])
         return nodes
+
+
+#: Public name for the incremental free-node pool: the HA control
+#: plane (:mod:`repro.service.ha`) replicates one per daemon.
+BucketPool = _BucketPool
 
 
 class _ShardView:

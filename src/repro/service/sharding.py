@@ -56,6 +56,10 @@ DEFAULT_SHARDS = 16
 #: Manifest file pinning the shard count of a registry directory.
 MANIFEST_FILE = "shards.json"
 
+#: Atomically-maintained duplicate of the manifest: the fallback when
+#: the primary is torn by a crash mid-replace (or later corruption).
+MANIFEST_BACKUP = "shards.json.bak"
+
 #: Manifest schema version.
 MANIFEST_FORMAT = 1
 
@@ -107,6 +111,8 @@ class ShardedRegistry:
         self.path = Path(path) if path is not None else None
         self.compact_every = int(compact_every)
         self.compactions = 0
+        #: Times a torn primary manifest was recovered from the .bak.
+        self.manifest_fallbacks = 0
         #: Test seam for crash drills: when set, called as
         #: ``kill_hook(shard_id)`` *between* the snapshot write and the
         #: log truncation of a compaction — the widest crash window.
@@ -130,6 +136,61 @@ class ShardedRegistry:
     def manifest_path(self) -> Path:
         return self.path / MANIFEST_FILE
 
+    @property
+    def manifest_backup_path(self) -> Path:
+        return self.path / MANIFEST_BACKUP
+
+    def _write_manifest_file(self, target: Path, count: int) -> None:
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(canonical_json(
+            {"format": MANIFEST_FORMAT, "shards": count}) + "\n")
+        os.replace(tmp, target)
+        fsync_dir(self.path)
+
+    def _read_manifest_file(self, target: Path) -> int:
+        """Parse one manifest file; raises :class:`RegistryError` when
+        it is torn/corrupt (the caller decides whether a fallback
+        exists) or pins an unsupported format version."""
+        try:
+            raw = json.loads(target.read_text())
+            if not isinstance(raw, dict):
+                raise ValueError("manifest must be a JSON object")
+            count = int(raw["shards"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise RegistryError("corrupt shard manifest {}: {}"
+                                .format(target, exc))
+        if raw.get("format") != MANIFEST_FORMAT:
+            raise RegistryError("unsupported manifest format {!r}"
+                                .format(raw.get("format")))
+        return count
+
+    def _load_manifest(self) -> int:
+        """Read the manifest, falling back to the ``.bak`` duplicate
+        when the primary is torn (a crash can tear at most one of the
+        two files: they are replaced atomically, one at a time).  The
+        surviving copy heals the damaged one, so the fallback is
+        one-shot, not a permanent degraded mode."""
+        try:
+            count = self._read_manifest_file(self.manifest_path)
+        except RegistryError as primary_exc:
+            if not self.manifest_backup_path.is_file():
+                raise primary_exc
+            try:
+                count = self._read_manifest_file(
+                    self.manifest_backup_path)
+            except RegistryError:
+                raise primary_exc       # both damaged: unrecoverable
+            self.manifest_fallbacks += 1
+            self._write_manifest_file(self.manifest_path, count)
+            rec = get_recorder()
+            if rec.enabled:
+                rec.counter("service", "manifest_fallbacks")
+            return count
+        if not self.manifest_backup_path.is_file():
+            # Registry predates the backup convention: heal forward.
+            self._write_manifest_file(self.manifest_backup_path, count)
+        return count
+
     def _resolve_shard_count(self, shards: Optional[int],
                              create: bool) -> int:
         if shards is not None and shards <= 0:
@@ -137,15 +198,7 @@ class ShardedRegistry:
         if self.path is None:
             return shards if shards is not None else DEFAULT_SHARDS
         if self.path.is_dir() and self.manifest_path.is_file():
-            try:
-                raw = json.loads(self.manifest_path.read_text())
-            except ValueError as exc:
-                raise RegistryError("corrupt shard manifest {}: {}"
-                                    .format(self.manifest_path, exc))
-            if raw.get("format") != MANIFEST_FORMAT:
-                raise RegistryError("unsupported manifest format {!r}"
-                                    .format(raw.get("format")))
-            existing = int(raw["shards"])
+            existing = self._load_manifest()
             if shards is not None and shards != existing:
                 raise RegistryError(
                     "registry at {} has {} shards; re-sharding to {} "
@@ -157,11 +210,8 @@ class ShardedRegistry:
                                 .format(self.path))
         count = shards if shards is not None else DEFAULT_SHARDS
         self.path.mkdir(parents=True, exist_ok=True)
-        tmp = self.manifest_path.with_suffix(".json.tmp")
-        tmp.write_text(canonical_json(
-            {"format": MANIFEST_FORMAT, "shards": count}) + "\n")
-        os.replace(tmp, self.manifest_path)
-        fsync_dir(self.path)
+        self._write_manifest_file(self.manifest_path, count)
+        self._write_manifest_file(self.manifest_backup_path, count)
         return count
 
     # -- routing ------------------------------------------------------------------

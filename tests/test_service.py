@@ -107,6 +107,26 @@ def test_reload_adopts_manifest_shard_count(tmp_path):
     assert reloaded.effective_margins() == _plain().effective_margins()
 
 
+def test_torn_manifest_falls_back_to_bak_and_heals(tmp_path):
+    registry = _sharded(path=tmp_path / "fleet", shards=4)
+    registry.manifest_path.write_text('{"format": 1, "sha')   # torn
+    reloaded = ShardedRegistry(tmp_path / "fleet")
+    assert reloaded.shard_count == 4
+    assert reloaded.manifest_fallbacks == 1
+    # The fallback heals the primary: the next reload is clean.
+    healed = ShardedRegistry(tmp_path / "fleet")
+    assert healed.shard_count == 4
+    assert healed.manifest_fallbacks == 0
+
+
+def test_both_manifests_torn_raises(tmp_path):
+    _sharded(path=tmp_path / "fleet", shards=4)
+    (tmp_path / "fleet" / "shards.json").write_text("{")
+    (tmp_path / "fleet" / "shards.json.bak").write_text("")
+    with pytest.raises(RegistryError):
+        ShardedRegistry(tmp_path / "fleet")
+
+
 def test_conflicting_shard_count_raises(tmp_path):
     _sharded(path=tmp_path / "fleet", shards=4)
     with pytest.raises(RegistryError):
