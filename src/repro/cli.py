@@ -113,7 +113,8 @@ def _cmd_node(args: argparse.Namespace) -> int:
         results[design] = simulate_node(NodeConfig(
             suite=args.suite, hierarchy=hierarchy, design=design,
             margin_mts=args.margin, memory_utilization=args.utilization,
-            refs_per_core=args.refs, seed=_resolve_seed(args)))
+            refs_per_core=args.refs, seed=_resolve_seed(args),
+            fidelity=args.fidelity))
     base = results["baseline"]
     rows = [[d, base.time_ns / r.time_ns, r.ipc, r.bus_utilization,
              r.write_share] for d, r in results.items()]
@@ -128,6 +129,16 @@ def _cmd_hpc(args: argparse.Namespace) -> int:
     from .hpc import (CONVENTIONAL_MODEL, Cluster, EasyBackfillScheduler,
                       MarginAwareAllocationPolicy, PerformanceModel,
                       SystemSimulator, TraceConfig, generate_trace)
+    if args.fidelity == "fast":
+        from .fastmodel import (CalibrationError,
+                                performance_model_from_calibration)
+        try:
+            model = performance_model_from_calibration()
+        except CalibrationError as exc:
+            print("repro hpc: {}".format(exc), file=sys.stderr)
+            return EXIT_DOMAIN_FAILURE
+    else:
+        model = PerformanceModel()
     jobs = generate_trace(TraceConfig(total_nodes=args.nodes,
                                       job_count=args.jobs,
                                       seed=_resolve_seed(args)))
@@ -136,7 +147,7 @@ def _cmd_hpc(args: argparse.Namespace) -> int:
     hdmr = SystemSimulator(
         Cluster(args.nodes),
         EasyBackfillScheduler(MarginAwareAllocationPolicy()),
-        PerformanceModel()).run(jobs)
+        model).run(jobs)
     rows = []
     for name, r in (("conventional", conv), ("hetero-dmr", hdmr)):
         rows.append([name, r.mean_execution_s(), r.mean_queue_delay_s(),
@@ -148,6 +159,143 @@ def _cmd_hpc(args: argparse.Namespace) -> int:
     print("turnaround speedup: {:.3f}x".format(
         conv.mean_turnaround_s() / hdmr.mean_turnaround_s()))
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+    from .analysis.reporting import format_kv
+    from .perf.sweep import SweepConfig, SweepRunner
+    config = SweepConfig(refs_per_core=args.refs, workers=args.workers,
+                         engine=args.engine, fidelity=args.fidelity,
+                         seeds=(_resolve_seed(args),))
+    result = SweepRunner(config).run()
+    if args.out:
+        payload = {"sweep": "fig12_grid",
+                   "refs_per_core": args.refs,
+                   "fidelity": args.fidelity or "default",
+                   "cells": result.deterministic_view()}
+        try:
+            with open(args.out, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print("repro sweep: cannot write {}: {}".format(
+                args.out, exc), file=sys.stderr)
+            return EXIT_IO_ERROR
+    pairs = [
+        ["cells", len(result.cells)],
+        ["unique simulations", result.unique_simulations],
+        ["fidelity", args.fidelity or "default"],
+        ["workers used", "{}{}".format(
+            result.workers_used,
+            " ({})".format(result.cap_reason)
+            if result.cap_reason else "")],
+        ["wall s", "{:.3f}".format(result.wall_s)],
+    ]
+    if result.events_processed:
+        pairs.append(["events/s", "{:.0f}".format(
+            result.events_per_second)])
+    if args.out:
+        pairs.append(["records", args.out])
+    print(format_kv("fig12 grid sweep", pairs))
+    return EXIT_OK
+
+
+def _cmd_fastmodel(args: argparse.Namespace) -> int:
+    import json
+    from .analysis.reporting import format_kv
+    from .fastmodel import (CalibrationError, FastModelError,
+                            cluster_sweep, run_calibration,
+                            run_crosscheck)
+
+    if args.fastmodel_command == "calibrate":
+        from .fastmodel.calibration import GRID_REFS_PER_CORE
+        suites = tuple(args.suites.split(",")) if args.suites else None
+        progress = (lambda line: print(line)) if args.verbose else None
+        try:
+            calibration = run_calibration(
+                suites=suites,
+                refs_per_core=args.refs or GRID_REFS_PER_CORE,
+                progress=progress)
+        except (FastModelError, ValueError, KeyError) as exc:
+            print("repro fastmodel: {}".format(exc), file=sys.stderr)
+            return EXIT_DOMAIN_FAILURE
+        try:
+            path = calibration.save(args.out)
+        except OSError as exc:
+            print("repro fastmodel: cannot write artifact: {}".format(
+                exc), file=sys.stderr)
+            return EXIT_IO_ERROR
+        worst = max(calibration.fit_errors.values()) \
+            if calibration.fit_errors else 0.0
+        print(format_kv("fastmodel calibrate", [
+            ["cells", len(calibration.cells)],
+            ["refs per core", calibration.refs_per_core],
+            ["worst fit error", "{:.5f}".format(worst)],
+            ["artifact", str(path)],
+        ]))
+        return EXIT_OK
+
+    if args.fastmodel_command == "check":
+        suites = tuple(args.suites.split(",")) if args.suites else None
+        try:
+            report = run_crosscheck(suites=suites)
+        except (CalibrationError, FastModelError, ValueError) as exc:
+            print("repro fastmodel: {}".format(exc), file=sys.stderr)
+            return EXIT_DOMAIN_FAILURE
+        if args.out:
+            try:
+                with open(args.out, "w") as fh:
+                    json.dump(report, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+            except OSError as exc:
+                print("repro fastmodel: cannot write {}: {}".format(
+                    args.out, exc), file=sys.stderr)
+                return EXIT_IO_ERROR
+        pairs = []
+        for hier, d in sorted(report["hierarchies"].items()):
+            pairs.append(["{} rankings".format(hier),
+                          "match" if d["rankings_match"]
+                          else "INVERTED"])
+            pairs.append(["{} worst |error|".format(hier),
+                          "{:.6f} ({})".format(d["worst_abs_error"],
+                                               d["worst_bar"])])
+        pairs.append(["tolerance", report["tolerance"]])
+        pairs.append(["passed", report["passed"]])
+        if args.out:
+            pairs.append(["report", args.out])
+        print(format_kv("fastmodel fig12 cross-check", pairs))
+        return EXIT_OK if report["passed"] else EXIT_DOMAIN_FAILURE
+
+    # cluster
+    try:
+        report = cluster_sweep(total_nodes=args.nodes,
+                               job_count=args.jobs,
+                               seed=_resolve_seed(args))
+    except (CalibrationError, FastModelError) as exc:
+        print("repro fastmodel: {}".format(exc), file=sys.stderr)
+        return EXIT_DOMAIN_FAILURE
+    if args.out:
+        try:
+            with open(args.out, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print("repro fastmodel: cannot write {}: {}".format(
+                args.out, exc), file=sys.stderr)
+            return EXIT_IO_ERROR
+    print(format_kv("fastmodel cluster sweep", [
+        ["nodes", report["total_nodes"]],
+        ["jobs", report["job_count"]],
+        ["mean turnaround improvement", "{:.4f}x".format(
+            report["mean_turnaround_improvement"])],
+        ["conventional turnaround s", report["conventional"]
+         ["mean_turnaround_s"]],
+        ["hetero-dmr turnaround s", report["hetero_dmr"]
+         ["mean_turnaround_s"]],
+        ["wall s", "{:.2f}".format(report["wall_s"])],
+    ]))
+    return EXIT_OK
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -386,9 +534,12 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             seed = args.seed
         report = run_perf_bench(
             refs_per_core=args.refs, workers=args.workers,
-            engine=args.engine, baseline_path=args.baseline, seed=seed,
+            engine=args.engine, fidelity=args.fidelity,
+            baseline_path=args.baseline, seed=seed,
             include_reference=not args.no_reference,
-            drain_events=args.drain_events)
+            drain_events=args.drain_events,
+            include_fastmodel=args.fastmodel,
+            fastmodel_cycle=not args.fastmodel_no_cycle)
         try:
             path = report.write(args.out)
         except OSError as exc:
@@ -416,6 +567,16 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         for kind, d in report.drain.items():
             pairs.append(["drain {} events/s".format(kind),
                           "{:.0f}".format(d["events_per_second"])])
+        if report.fastmodel:
+            fm = report.fastmodel
+            pairs.append(["fastmodel crosscheck",
+                          "pass" if fm["crosscheck_passed"]
+                          else "FAIL"])
+            if "fast_speedup_vs_cycle" in fm:
+                pairs.append(["fastmodel speedup vs cycle", "{:.0f}x"
+                              .format(fm["fast_speedup_vs_cycle"])])
+            pairs.append(["fastmodel 10k-node wall s", "{:.2f}"
+                          .format(fm["cluster_wall_s"])])
         pairs.append(["report", str(path)])
         pairs.append(["regressed", report.regressed])
         print(format_kv("perf bench (fig12 sweep)", pairs))
@@ -914,11 +1075,79 @@ def build_parser() -> argparse.ArgumentParser:
     node.add_argument("--margin", type=int, default=800)
     node.add_argument("--utilization", type=float, default=0.2)
     node.add_argument("--refs", type=int, default=3000)
+    node.add_argument("--fidelity", default=None,
+                      choices=("cycle", "fast"),
+                      help="model tier (default: REPRO_FIDELITY or "
+                           "cycle)")
 
     hpc = sub.add_parser("hpc", parents=[common],
                          help="system-wide Slurm-style simulation")
     hpc.add_argument("--nodes", type=int, default=256)
     hpc.add_argument("--jobs", type=int, default=3000)
+    hpc.add_argument("--fidelity", default="cycle",
+                     choices=("cycle", "fast"),
+                     help="node-speedup model: transcribed Figure 12 "
+                          "defaults (cycle) or the calibrated fast "
+                          "tier's predictions (fast)")
+
+    sweep = sub.add_parser(
+        "sweep", parents=[common],
+        help="run the Figure 12 grid sweep at either fidelity tier")
+    sweep.add_argument("--refs", type=int, default=3000,
+                       help="trace references per core and cell")
+    sweep.add_argument("--workers", type=int, default=0,
+                       help="worker processes for cycle cells "
+                            "(<=1 serial; fast cells never fan out)")
+    sweep.add_argument("--engine", default=None,
+                       choices=("heap", "calendar"))
+    sweep.add_argument("--fidelity", default=None,
+                       choices=("cycle", "fast"),
+                       help="model tier (default: REPRO_FIDELITY or "
+                            "cycle)")
+    sweep.add_argument("--out", default=None,
+                       help="write per-cell records (deterministic "
+                            "view) to this JSON file")
+
+    fastmodel = sub.add_parser(
+        "fastmodel", help="fast fidelity tier: calibrate the "
+                          "closed-form model, cross-check it against "
+                          "the cycle engine, run 10k-node sweeps")
+    fsub = fastmodel.add_subparsers(dest="fastmodel_command",
+                                    required=True)
+    fcal = fsub.add_parser(
+        "calibrate", parents=[common],
+        help="run the cycle engine over the fig12 effective-cell grid "
+             "and fit the closed-form model (writes the versioned "
+             "calibration artifact)")
+    fcal.add_argument("--refs", type=int, default=None,
+                      help="trace references per core (default: the "
+                           "committed grid length)")
+    fcal.add_argument("--suites", default=None,
+                      help="comma-separated suite subset (default: "
+                           "all suites)")
+    fcal.add_argument("--out", default=None,
+                      help="artifact path (default "
+                           "benchmarks/perf/fastmodel_calibration"
+                           ".json)")
+    fcal.add_argument("--verbose", action="store_true",
+                      help="print each calibrated cell")
+    fcheck = fsub.add_parser(
+        "check", parents=[common],
+        help="fig12 cycle-vs-fast cross-check: rankings + weighted "
+             "speedups within tolerance (exit 1 on failure); the "
+             "report is deterministic, so two runs diff clean")
+    fcheck.add_argument("--suites", default=None,
+                        help="comma-separated suite subset")
+    fcheck.add_argument("--out", default=None,
+                        help="write the report JSON here")
+    fcluster = fsub.add_parser(
+        "cluster", parents=[common],
+        help="10k-node system sweep with the calibrated performance "
+             "model")
+    fcluster.add_argument("--nodes", type=int, default=10000)
+    fcluster.add_argument("--jobs", type=int, default=2000)
+    fcluster.add_argument("--out", default=None,
+                          help="write the report JSON here")
 
     chaos = sub.add_parser(
         "chaos", parents=[common],
@@ -1049,6 +1278,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--drain-events", type=int, default=100000,
                        help="pending-drain micro-benchmark size "
                             "(0 disables)")
+    bench.add_argument("--fidelity", default=None,
+                       choices=("cycle", "fast"),
+                       help="tier for the main sweep (the regression "
+                            "gate only applies at cycle fidelity)")
+    bench.add_argument("--fastmodel", action="store_true",
+                       help="add the cycle-vs-fast side-by-side "
+                            "section (one full cycle sweep at the "
+                            "calibration trace length — minutes)")
+    bench.add_argument("--fastmodel-no-cycle", action="store_true",
+                       help="with --fastmodel, skip the cycle timing "
+                            "pass (cross-check and cluster timing "
+                            "still run)")
     pprofile = psub.add_parser(
         "profile", parents=[common],
         help="cProfile one node simulation, print the top functions "
@@ -1180,6 +1421,8 @@ _HANDLERS = {
     "settings": _cmd_settings,
     "node": _cmd_node,
     "hpc": _cmd_hpc,
+    "sweep": _cmd_sweep,
+    "fastmodel": _cmd_fastmodel,
     "chaos": _cmd_chaos,
     "adapt": _cmd_adapt,
     "fleet": _cmd_fleet,

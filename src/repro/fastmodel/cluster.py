@@ -1,0 +1,126 @@
+"""Fast-tier cluster pipeline: calibrated node speedups driving
+10k-node system sweeps.
+
+Closes the loop the cycle tier cannot afford: derive the
+:class:`~repro.hpc.simulator.PerformanceModel` from the calibration
+artifact (instead of the hand-transcribed Figure 12 constants) and
+feed it to the discrete-event system simulator at fleet scale.  The
+node side is closed-form, so a 10,000-node sweep is bounded by the
+scheduler, not the memory model — seconds, not CPU-months.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.stats import suite_average
+from ..cache.hierarchy import HIERARCHIES
+from ..hpc.cluster import Cluster
+from ..hpc.simulator import (CONVENTIONAL_MODEL, PerformanceModel,
+                             SystemSimulator)
+from ..hpc.traces import TraceConfig, generate_trace
+from ..sim.node import effective_design
+from ..sim.runner import BUCKET_UTILIZATION
+from .calibration import Calibration, load_default_calibration
+from .model import predict_cell
+
+#: Figure 12 usage bucket -> the system model's job memory bucket.
+_BUCKET_TO_JOB = {"0-25": "under_25", "25-50": "25_to_50",
+                  "50-100": "over_50"}
+
+#: Node margins the scheduler's classes use (plus the no-margin class).
+_MODEL_MARGINS = (800, 600)
+
+
+def performance_model_from_calibration(
+        calibration: Optional[Calibration] = None,
+        design: str = "hetero-dmr",
+        hierarchies: Optional[Tuple[str, ...]] = None
+        ) -> PerformanceModel:
+    """Build the system-level performance model from the fast tier.
+
+    Each (margin, job bucket) entry is the Figure 12 bar for
+    ``design`` — suite-equal average speedup over the baseline at the
+    bucket's representative utilization, averaged across hierarchies.
+    Utilization resolves the effective design exactly as a node
+    simulation would, so the >=50% bucket collapses to 1.0 on its own
+    (replication is infeasible there), not by special-casing.
+    """
+    calibration = calibration or load_default_calibration()
+    suites = tuple(calibration.grid["suites"])
+    hierarchies = tuple(hierarchies) if hierarchies else \
+        tuple(calibration.grid["hierarchies"])
+    hiers = [HIERARCHIES[name]() for name in hierarchies]
+    speedups: Dict[int, Dict[str, float]] = {}
+    for margin in _MODEL_MARGINS:
+        table: Dict[str, float] = {}
+        for bucket, util in BUCKET_UTILIZATION.items():
+            eff = effective_design(design, util)
+            per_hier = []
+            for hier in hiers:
+                per_suite = {}
+                for suite in suites:
+                    base = predict_cell(calibration, suite, hier,
+                                        "baseline", 800)["t_norm"]
+                    cell = predict_cell(calibration, suite, hier, eff,
+                                        margin)["t_norm"]
+                    per_suite[suite] = base / cell
+                per_hier.append(suite_average(per_suite))
+            table[_BUCKET_TO_JOB[bucket]] = \
+                sum(per_hier) / len(per_hier)
+        speedups[margin] = table
+    speedups[0] = {b: 1.0 for b in _BUCKET_TO_JOB.values()}
+    return PerformanceModel(speedups=speedups)
+
+
+def cluster_sweep(total_nodes: int = 10_000, job_count: int = 2_000,
+                  seed: int = 17,
+                  calibration: Optional[Calibration] = None) -> dict:
+    """10k-node fleet sweep: one synthetic trace replayed through the
+    conventional system and the Hetero-DMR system whose node speedups
+    come from the calibrated fast tier.
+
+    Returns a deterministic report plus ``wall_s`` (the only
+    non-deterministic field — drop it before diffing runs).
+    """
+    model = performance_model_from_calibration(calibration)
+    trace = generate_trace(TraceConfig(total_nodes=total_nodes,
+                                       job_count=job_count, seed=seed))
+    t0 = time.perf_counter()
+    conventional = SystemSimulator(
+        Cluster(total_nodes, seed=seed),
+        performance=CONVENTIONAL_MODEL).run(trace)
+    hetero = SystemSimulator(
+        Cluster(total_nodes, seed=seed),
+        performance=model).run(trace)
+    wall_s = time.perf_counter() - t0
+    return {
+        "sweep": "fastmodel_cluster",
+        "total_nodes": total_nodes,
+        "job_count": job_count,
+        "seed": seed,
+        "model_speedups": {str(m): {k: round(v, 6)
+                                    for k, v in sorted(t.items())}
+                           for m, t in sorted(model.speedups.items())},
+        "conventional": _metrics(conventional, total_nodes),
+        "hetero_dmr": _metrics(hetero, total_nodes),
+        "mean_turnaround_improvement": round(
+            conventional.mean_turnaround_s()
+            / hetero.mean_turnaround_s(), 6),
+        "wall_s": wall_s,
+    }
+
+
+def _metrics(result, total_nodes: int) -> dict:
+    return {
+        "mean_execution_s": round(result.mean_execution_s(), 3),
+        "mean_queue_delay_s": round(result.mean_queue_delay_s(), 3),
+        "mean_turnaround_s": round(result.mean_turnaround_s(), 3),
+        "p95_turnaround_s": round(
+            result.percentile_turnaround_s(0.95), 3),
+        "mean_bounded_slowdown": round(
+            result.mean_bounded_slowdown(), 6),
+        "node_utilization": round(
+            result.node_utilization(total_nodes), 6),
+    }

@@ -1,0 +1,94 @@
+"""Batched fast-tier evaluation: the whole sweep grid in one shot.
+
+The fast tier's closed form is a handful of element-wise float
+operations per cell, so a grid evaluates as a few numpy array
+expressions instead of a process pool.  Two invariants carry the
+sweep's determinism guarantee over:
+
+* the numpy expressions reproduce
+  :func:`repro.fastmodel.model.features` /
+  :func:`~repro.fastmodel.model.evaluate` **operation for operation**
+  (same association order, element-wise float64 ops only — no
+  reductions), so the batched path is bit-identical to the scalar
+  path; and
+* without numpy (CI runs without it) the batch falls back to calling
+  the scalar functions directly, which is trivially identical.
+
+``tests/test_fastmodel.py`` asserts the bit-equality whenever numpy is
+importable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .model import evaluate, features
+
+try:                             # pragma: no cover - host-dependent
+    import numpy as _np
+except ImportError:              # pragma: no cover - host-dependent
+    _np = None
+
+
+def numpy_available() -> bool:
+    return _np is not None
+
+
+def batch_t_norms(rows: List[dict]) -> List[float]:
+    """Predicted ``t_norm`` per row.
+
+    Each row carries the resolved inputs of one cell: ``intercept``,
+    ``slope``, ``hierarchy``, ``design``, ``read_t``, ``write_t``,
+    ``reads_n``, ``writes_n``, ``row_hit_rate``, ``entries_n``.
+    """
+    if _np is None or len(rows) < 2:
+        return [_scalar(row) for row in rows]
+    return _vectorized(rows)
+
+
+def _scalar(row: dict) -> float:
+    feats = features(row["hierarchy"], row["design"], row["read_t"],
+                     row["write_t"], row["reads_n"], row["writes_n"],
+                     row["row_hit_rate"], row["entries_n"])
+    return evaluate(row["intercept"], row["slope"], feats)
+
+
+def _vectorized(rows: List[dict]) -> List[float]:
+    from .model import _MARGIN_DESIGNS, banks_per_channel
+    from ..dram.frequency import TRANSITION_NS
+    from ..mem_ctrl.policy import CONVENTIONAL_TURNAROUND_NS
+
+    def col(fn) -> "_np.ndarray":
+        return _np.array([fn(row) for row in rows], dtype=_np.float64)
+
+    intercept = col(lambda r: r["intercept"])
+    slope = col(lambda r: r["slope"])
+    reads = col(lambda r: r["reads_n"])
+    writes = col(lambda r: r["writes_n"])
+    miss = col(lambda r: 1.0 - r["row_hit_rate"])
+    entries = col(lambda r: r["entries_n"])
+    nchan = col(lambda r: float(r["hierarchy"].channels))
+    cores = col(lambda r: float(r["hierarchy"].cores))
+    banks = col(lambda r: float(banks_per_channel(r["hierarchy"],
+                                                  r["design"])))
+    burst_r = col(lambda r: r["read_t"].burst_time_ns)
+    trfc = col(lambda r: r["read_t"].tRFC_ns)
+    trefi = col(lambda r: r["read_t"].tREFI_ns)
+    trcd = col(lambda r: r["read_t"].tRCD_ns)
+    trp = col(lambda r: r["read_t"].tRP_ns)
+    tcas = col(lambda r: r["read_t"].tCAS_ns)
+    burst_w = col(lambda r: r["write_t"].burst_time_ns)
+    entry_cost = col(lambda r: 2.0 * TRANSITION_NS
+                     if r["design"] in _MARGIN_DESIGNS
+                     else 2.0 * CONVENTIONAL_TURNAROUND_NS)
+
+    # Mirrors model.features()/evaluate() term by term; every numpy
+    # expression below keeps the scalar code's association order.
+    refresh_inflation = 1.0 / (1.0 - trfc / trefi)
+    x_bus = reads * burst_r * refresh_inflation / nchan
+    x_row = reads * miss * (trcd + trp) / (nchan * banks)
+    x_write = writes * burst_w / nchan
+    x_dep = (reads / cores) * (tcas + miss * trcd + burst_r)
+    x_total = ((x_bus + x_row) + x_write) + x_dep
+    t = (intercept + slope * x_total) + (entries * entry_cost)
+    return [float(v) for v in t]

@@ -97,7 +97,8 @@ class EasyBackfillScheduler:
             if nodes is None:
                 break
             queue.pop(0)
-            free = [n for n in free if n not in nodes]
+            taken = {id(n) for n in nodes}
+            free = [n for n in free if id(n) not in taken]
             started.append((head, nodes))
         if not queue:
             return started
@@ -116,7 +117,8 @@ class EasyBackfillScheduler:
             if nodes is None:
                 continue
             queue.remove(job)
-            free = [n for n in free if n not in nodes]
+            taken = {id(n) for n in nodes}
+            free = [n for n in free if id(n) not in taken]
             if fits_spare:
                 spare -= job.nodes_requested
             started.append((job, nodes))

@@ -26,6 +26,7 @@ from ..dram.channel import Channel
 from ..dram.frequency import FrequencyState
 from ..obs import get_recorder
 from .address_map import AddressMapping, MemLocation
+from .batch_timing import order_write_batch
 from .page_policy import PagePolicy
 from .policy import AccessPolicy
 from .queues import (READ_QUEUE_ENTRIES, ReadRequest, WRITE_QUEUE_ENTRIES,
@@ -239,27 +240,9 @@ class ChannelController:
         # Write-mode scheduling: writes are drained first-ready — same-
         # row writes back to back within a bank, banks interleaved
         # round-robin so their row cycles overlap and the data bus
-        # stays packed.
-        groups: Dict[tuple, List[WriteRequest]] = {}
-        for wr in batch:
-            groups.setdefault((wr.location.rank, wr.location.bank),
-                              []).append(wr)
-        for group in groups.values():
-            group.sort(key=lambda w: w.location.row)
-        ordered: List[WriteRequest] = []
-        cursors = {key: 0 for key in groups}
-        while len(ordered) < len(batch):
-            for key, group in groups.items():
-                i = cursors[key]
-                if i >= len(group):
-                    continue
-                # Emit the whole same-row run for this bank, then move on.
-                row = group[i].location.row
-                while i < len(group) and group[i].location.row == row:
-                    ordered.append(group[i])
-                    i += 1
-                cursors[key] = i
-        self._write_chunks(ordered, 0)
+        # stays packed.  Large batches order through numpy integer
+        # sorts (bit-identical permutation; see mem_ctrl.batch_timing).
+        self._write_chunks(order_write_batch(batch), 0)
 
     #: Writes drained per read<->write bus turnaround, as in a
     #: conventional 128-entry write buffer drain.

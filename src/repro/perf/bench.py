@@ -108,6 +108,7 @@ class BenchReport:
     fast_wall_s: float
     events_processed: int
     events_per_second: float
+    fidelity: str = "cycle"
     reference_wall_s: Optional[float] = None
     speedup_vs_reference: Optional[float] = None
     baseline_wall_s: Optional[float] = None
@@ -115,6 +116,7 @@ class BenchReport:
     baseline_events_per_second: Optional[float] = None
     regressed: bool = False
     drain: Dict[str, dict] = field(default_factory=dict)
+    fastmodel: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -127,6 +129,7 @@ class BenchReport:
                         "cpu_capacity": self.cpu_capacity,
                         "cap_reason": self.cap_reason},
             "engine": self.engine,
+            "fidelity": self.fidelity,
             "fast_wall_s": self.fast_wall_s,
             "events_processed": self.events_processed,
             "events_per_second": self.events_per_second,
@@ -138,6 +141,7 @@ class BenchReport:
             "regressed": self.regressed,
             "regression_tolerance": REGRESSION_TOLERANCE,
             "drain": self.drain,
+            "fastmodel": self.fastmodel,
         }
 
     def write(self, path: Optional[Path] = None) -> Path:
@@ -156,17 +160,61 @@ def _reference_pass(config: SweepConfig) -> tuple:
     for cell in cells:
         _run_cell((cell["suite"], cell["hierarchy"], cell["design"],
                    cell["margin_mts"], cell["bucket"], cell["seed"],
-                   config.refs_per_core, "heap"))
+                   config.refs_per_core, "heap", "cycle"))
     return time.perf_counter() - t0, len(cells)
+
+
+def fastmodel_benchmark(include_cycle: bool = True,
+                        cluster_nodes: int = 10_000,
+                        cluster_jobs: int = 2_000) -> Dict[str, object]:
+    """Cycle-vs-fast fidelity side-by-side on the Figure 12 grid.
+
+    Times one serial cycle-tier sweep and one fast-tier sweep at the
+    calibration trace length, runs the fig12 cross-check gate, and
+    times the calibrated 10k-node cluster sweep.  ``include_cycle``
+    False skips the (minutes-long) cycle pass and reports only the
+    fast side — the cross-check gate still runs, because its cycle
+    numbers come from the calibration artifact, not a re-simulation.
+    """
+    from ..fastmodel import cluster_sweep, run_crosscheck
+    from ..fastmodel.calibration import GRID_REFS_PER_CORE
+    check = run_crosscheck()
+    out: Dict[str, object] = {
+        "refs_per_core": GRID_REFS_PER_CORE,
+        "crosscheck_passed": check["passed"],
+        "crosscheck_worst_bar": check["worst"]["bar"],
+        "crosscheck_worst_abs_error": check["worst"]["abs_error"],
+    }
+    fast = SweepRunner(SweepConfig(refs_per_core=GRID_REFS_PER_CORE,
+                                   fidelity="fast")).run()
+    out["fast_sweep_wall_s"] = fast.wall_s
+    out["fast_sweep_cells"] = len(fast.cells)
+    if include_cycle:
+        cycle = SweepRunner(SweepConfig(refs_per_core=GRID_REFS_PER_CORE,
+                                        fidelity="cycle")).run()
+        out["cycle_sweep_wall_s"] = cycle.wall_s
+        if fast.wall_s:
+            out["fast_speedup_vs_cycle"] = cycle.wall_s / fast.wall_s
+    cluster = cluster_sweep(total_nodes=cluster_nodes,
+                            job_count=cluster_jobs)
+    out["cluster_nodes"] = cluster_nodes
+    out["cluster_jobs"] = cluster_jobs
+    out["cluster_wall_s"] = cluster["wall_s"]
+    out["cluster_turnaround_improvement"] = \
+        cluster["mean_turnaround_improvement"]
+    return out
 
 
 def run_perf_bench(refs_per_core: int = 120,
                    workers: int = 8,
                    engine: Optional[str] = None,
+                   fidelity: Optional[str] = None,
                    baseline_path: Optional[Path] = None,
                    seed: Optional[int] = None,
                    include_reference: bool = True,
-                   drain_events: int = 100_000) -> BenchReport:
+                   drain_events: int = 100_000,
+                   include_fastmodel: bool = False,
+                   fastmodel_cycle: bool = True) -> BenchReport:
     """Run the Figure 12 sweep benchmark and build the report.
 
     ``seed`` of None keeps the grid seed the recorded baseline was
@@ -175,13 +223,19 @@ def run_perf_bench(refs_per_core: int = 120,
     trace length than the baseline was recorded at (simulation work is
     linear in the reference count, so the approximation is good; the
     baseline file records its own ``refs_per_core``).
+
+    ``fidelity`` selects the tier for the main sweep (the recorded
+    baseline and regression gate are only meaningful at cycle
+    fidelity); ``include_fastmodel`` adds the cycle-vs-fast
+    side-by-side section (see :func:`fastmodel_benchmark`).
     """
     kwargs = {"refs_per_core": refs_per_core, "workers": workers,
-              "engine": engine}
+              "engine": engine, "fidelity": fidelity}
     if seed is not None:
         kwargs["seeds"] = (seed,)
     config = SweepConfig(**kwargs)
-    result = SweepRunner(config).run()
+    runner = SweepRunner(config)
+    result = runner.run()
     report = BenchReport(
         refs_per_core=refs_per_core,
         n_cells=len(result.cells),
@@ -191,10 +245,13 @@ def run_perf_bench(refs_per_core: int = 120,
         cpu_capacity=result.cpu_capacity,
         cap_reason=result.cap_reason,
         engine=engine or "default",
+        fidelity=runner._fidelity,
         fast_wall_s=result.wall_s,
         events_processed=result.events_processed,
         events_per_second=result.events_per_second,
         drain=drain_benchmark(drain_events) if drain_events else {},
+        fastmodel=(fastmodel_benchmark(include_cycle=fastmodel_cycle)
+                   if include_fastmodel else {}),
     )
     if include_reference:
         ref_wall, _ = _reference_pass(config)
@@ -202,7 +259,10 @@ def run_perf_bench(refs_per_core: int = 120,
         if result.wall_s:
             report.speedup_vs_reference = ref_wall / result.wall_s
     baseline = load_baseline(baseline_path)
-    if baseline:
+    # The recorded baseline measures the cycle engine; comparing a
+    # closed-form pass against it (or gating on its events/sec floor
+    # when no events were processed) would be meaningless.
+    if baseline and runner._fidelity == "cycle":
         scale = refs_per_core / baseline["refs_per_core"]
         base_wall = baseline["seed_serial_wall_s"] * scale
         report.baseline_wall_s = base_wall

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..cache.hierarchy import HIERARCHIES
+from ..sim.fidelity import resolve_fidelity
 from ..sim.node import NodeConfig, effective_design, simulate_node
 from ..sim.runner import BUCKET_UTILIZATION
 from ..workloads.registry import suite_names
@@ -81,6 +82,11 @@ class SweepConfig:
     refs_per_core: int = 3000
     workers: int = 0
     engine: Optional[str] = None
+    #: Fidelity tier for every cell ("cycle", "fast", or None for the
+    #: ``REPRO_FIDELITY`` default).  Fast cells are closed-form: the
+    #: runner skips the process pool and evaluates the whole grid as
+    #: one numpy batch.
+    fidelity: Optional[str] = None
     #: Cap ``workers`` at the host's CPU count before fanning out.
     #: Results are identical at any worker count, so the cap is purely
     #: a performance decision — oversubscribing cores only adds pool
@@ -99,6 +105,8 @@ class SweepConfig:
         for b in self.buckets:
             if b not in BUCKET_UTILIZATION:
                 raise ValueError("unknown bucket {!r}".format(b))
+        if self.fidelity is not None:
+            resolve_fidelity(self.fidelity)
 
     def cells(self) -> List[dict]:
         """The sweep's cells in deterministic grid order."""
@@ -134,18 +142,27 @@ def cell_key(cell: dict) -> tuple:
             cell["seed"])
 
 
-def _run_cell(task: Tuple) -> dict:
-    """Worker body: simulate one effective cell (top-level so it
-    pickles).  Returns outcome fields plus the cell's wall time."""
+def _task_config(task: Tuple) -> NodeConfig:
     (suite, hierarchy, design, margin_mts, bucket, seed, refs,
-     engine) = task
-    t0 = time.perf_counter()
-    result = simulate_node(NodeConfig(
+     engine, fidelity) = task
+    return NodeConfig(
         suite=suite, hierarchy=HIERARCHIES[hierarchy](), design=design,
         margin_mts=margin_mts,
         memory_utilization=BUCKET_UTILIZATION[bucket],
-        refs_per_core=refs, seed=seed, engine=engine))
-    out = {name: getattr(result, name) for name in _RESULT_FIELDS}
+        refs_per_core=refs, seed=seed, engine=engine,
+        fidelity=fidelity)
+
+
+def _outcome(result) -> dict:
+    return {name: getattr(result, name) for name in _RESULT_FIELDS}
+
+
+def _run_cell(task: Tuple) -> dict:
+    """Worker body: simulate one effective cell (top-level so it
+    pickles).  Returns outcome fields plus the cell's wall time."""
+    t0 = time.perf_counter()
+    result = simulate_node(_task_config(task))
+    out = _outcome(result)
     out["wall_s"] = time.perf_counter() - t0
     return out
 
@@ -157,8 +174,10 @@ class SweepResult:
     ``cap_reason`` explains any gap between requested and used workers
     ("" when they match): ``cpu-capacity`` (affinity mask / cpuset had
     fewer CPUs than requested), ``single-task`` (nothing to fan out),
-    ``pool-unavailable`` (the platform refused to spawn workers), or
-    ``pool-broken`` (workers died mid-sweep; rerun serially).
+    ``pool-unavailable`` (the platform refused to spawn workers),
+    ``pool-broken`` (workers died mid-sweep; rerun serially), or
+    ``fast-fidelity`` (closed-form cells evaluate as one batch; no
+    pool by design).
     """
     cells: List[dict]
     unique_simulations: int
@@ -183,10 +202,15 @@ class SweepResult:
 
 
 class SweepRunner:
-    """Runs a sweep's unique effective cells across a process pool."""
+    """Runs a sweep's unique effective cells across a process pool —
+    or, at fast fidelity, as one closed-form batch with no pool at
+    all."""
 
     def __init__(self, config: SweepConfig):
         self.config = config
+        # Resolve once (environment included) so every worker receives
+        # an explicit tier and the whole sweep provably ran on one.
+        self._fidelity = resolve_fidelity(config.fidelity)
 
     def _unique_tasks(self, cells: List[dict]
                       ) -> Tuple[List[Tuple], Dict[tuple, int]]:
@@ -203,7 +227,8 @@ class SweepRunner:
             tasks.append((cell["suite"], cell["hierarchy"],
                           cell["design"], cell["margin_mts"],
                           cell["bucket"], cell["seed"],
-                          cfg.refs_per_core, cfg.engine))
+                          cfg.refs_per_core, cfg.engine,
+                          self._fidelity))
         return tasks, order
 
     def _map(self, tasks: List[Tuple]) -> List[dict]:
@@ -216,6 +241,11 @@ class SweepRunner:
         self.workers_used = 1
         self.cpu_capacity = available_cpus()
         self.cap_reason = ""
+        if self._fidelity == "fast":
+            # Closed-form cells: one batched evaluation beats any
+            # worker count, so the pool is skipped by design.
+            self.cap_reason = "fast-fidelity"
+            return self._map_fast(tasks)
         workers = self.config.workers
         if self.config.cap_to_cpus and workers > self.cpu_capacity:
             workers = self.cpu_capacity
@@ -241,6 +271,22 @@ class SweepRunner:
                 # serial rerun gives identical results.
                 self.cap_reason = "pool-broken"
         return [_run_cell(task) for task in tasks]
+
+    def _map_fast(self, tasks: List[Tuple]) -> List[dict]:
+        """Evaluate every unique cell in one closed-form batch
+        (numpy-vectorized when available; bit-identical scalar
+        fallback otherwise)."""
+        from ..fastmodel import simulate_nodes_fast
+        t0 = time.perf_counter()
+        results = simulate_nodes_fast([_task_config(task)
+                                       for task in tasks])
+        per_cell = (time.perf_counter() - t0) / max(1, len(results))
+        outcomes = []
+        for result in results:
+            out = _outcome(result)
+            out["wall_s"] = per_cell
+            outcomes.append(out)
+        return outcomes
 
     def run(self) -> SweepResult:
         """Execute the sweep; returns per-cell records in grid order."""

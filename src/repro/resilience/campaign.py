@@ -143,6 +143,12 @@ class ChaosConfig:
     # Cluster phase.
     cluster_nodes: int = 25
     cluster_jobs: int = 10
+    #: Fidelity tier for the cluster phase's performance model:
+    #: "cycle" uses the transcribed Figure 12 defaults, "fast" derives
+    #: the model from the fast tier's calibration artifact.  The node
+    #: phase always runs cycle fidelity — its fault-injection knobs are
+    #: exactly what the closed form refuses to model.
+    fidelity: str = "cycle"
 
     @property
     def duration_ns(self) -> float:
@@ -588,7 +594,12 @@ class ChaosCampaign:
                     base_runtime_s=120.0 + 40.0 * (i % 7),
                     memory_utilization=(0.1, 0.35, 0.6)[i % 3])
                 for i in range(cfg.cluster_jobs)]
-        performance = PerformanceModel()
+        from ..sim.fidelity import resolve_fidelity
+        if resolve_fidelity(cfg.fidelity) == "fast":
+            from ..fastmodel import performance_model_from_calibration
+            performance = performance_model_from_calibration()
+        else:
+            performance = PerformanceModel()
         simulator = SystemSimulator(
             self.cluster,
             scheduler=EasyBackfillScheduler(MarginAwareAllocationPolicy()),

@@ -38,6 +38,7 @@ from ..obs import get_recorder
 from ..workloads.base import TraceGenerator
 from ..workloads.registry import get_profile
 from .engine import VALID_ENGINES, EventLoop, make_event_loop
+from .fidelity import VALID_FIDELITIES, resolve_fidelity
 
 #: Designs understood by the simulator.
 DESIGNS = ("baseline", "baseline-plain", "fmr", "hetero-dmr",
@@ -96,6 +97,13 @@ class NodeConfig:
     #: to the ``REPRO_ENGINE`` environment variable.  Both engines
     #: produce identical results; this only selects the scheduler.
     engine: Optional[str] = None
+    #: Fidelity tier: "cycle" (the trace-driven reference simulator),
+    #: "fast" (the calibrated closed-form model in
+    #: :mod:`repro.fastmodel`), or None to defer to the
+    #: ``REPRO_FIDELITY`` environment variable.  Unlike ``engine``, the
+    #: tiers produce *different* numbers — the fast tier is an
+    #: approximation cross-checked on the Figure 12 grid.
+    fidelity: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.transition_fault_rate <= 1.0:
@@ -115,6 +123,10 @@ class NodeConfig:
         if self.engine is not None and self.engine not in VALID_ENGINES:
             raise ValueError("unknown engine {!r}; valid: {}".format(
                 self.engine, ", ".join(VALID_ENGINES)))
+        if self.fidelity is not None and \
+                self.fidelity not in VALID_FIDELITIES:
+            raise ValueError("unknown fidelity {!r}; valid: {}".format(
+                self.fidelity, ", ".join(VALID_FIDELITIES)))
 
 
 @dataclass
@@ -507,5 +519,14 @@ class NodeSimulation:
 
 
 def simulate_node(config: NodeConfig) -> NodeResult:
-    """Build and run one node simulation."""
+    """Simulate one node at the configured fidelity tier.
+
+    ``fidelity="cycle"`` (or unset, with ``REPRO_FIDELITY`` empty) runs
+    the trace-driven cycle simulator; ``"fast"`` evaluates the
+    calibrated closed-form model instead, which needs the committed
+    calibration artifact (see :mod:`repro.fastmodel`).
+    """
+    if resolve_fidelity(config.fidelity) == "fast":
+        from ..fastmodel import simulate_node_fast
+        return simulate_node_fast(config)
     return NodeSimulation(config).run()

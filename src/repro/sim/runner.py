@@ -54,9 +54,16 @@ BUCKET_UTILIZATION = {"0-25": 0.15, "25-50": 0.35, "50-100": 0.75}
 
 @dataclass
 class ExperimentRunner:
-    """Runs and caches node simulations for one trace length/seed."""
+    """Runs and caches node simulations for one trace length/seed.
+
+    ``fidelity`` selects the model tier per
+    :func:`repro.sim.fidelity.resolve_fidelity` (None defers to
+    ``REPRO_FIDELITY``); the cache is per-runner, so one runner never
+    mixes tiers.
+    """
     refs_per_core: int = 5000
     seed: int = 12345
+    fidelity: Optional[str] = None
     _cache: Dict[tuple, NodeResult] = field(default_factory=dict)
 
     # -- primitives ---------------------------------------------------------------
@@ -103,7 +110,8 @@ class ExperimentRunner:
                 use_latency_margin=use_latency_margin,
                 read_error_rate=read_error_rate,
                 transition_fault_rate=transition_fault_rate,
-                refs_per_core=self.refs_per_core, seed=self.seed))
+                refs_per_core=self.refs_per_core, seed=self.seed,
+                fidelity=self.fidelity))
         return self._cache[key]
 
     def baseline(self, suite: str,
