@@ -2,6 +2,8 @@
 module population, margin testbench, thermal model, latency-margin
 search, and margin-variability Monte Carlo."""
 
+from .crosstech import (backend_performance_model, characterize_backend,
+                        compare_backends, placement_comparison)
 from .drift import (AgingDrift, CompositeDrift, DRIFT_SCENARIOS,
                     DiurnalDrift, DriftModel, MARGIN_LOSS_MTS_PER_DOUBLING,
                     MAX_DRIFT_AMBIENT_C, ThermalRampDrift, clamp_ambient_c,
@@ -37,7 +39,9 @@ __all__ = [
     "ROOM_AMBIENT_C", "STUDY_CHIPS", "STUDY_MODULES", "StressResult",
     "StressTester", "SyntheticModule", "THERMAL_BOOT_FAILURES",
     "TestMachine", "ThermalRampDrift", "TrinititeSampler",
-    "clamp_ambient_c", "conservative_setting", "dimm_temperature_c",
+    "backend_performance_model", "characterize_backend",
+    "clamp_ambient_c", "compare_backends", "conservative_setting",
+    "dimm_temperature_c", "placement_comparison",
     "error_rate_multiplier", "exhaustive_test_count", "make_drift",
     "measure_population", "thermal_margin_loss_mts",
     "trinitite_percentile",

@@ -90,13 +90,20 @@ class MarginMonteCarlo:
             out.append(node_margin(ch_margins))
         return MarginDistribution(out)
 
-    def node_group_fractions(self, trials: int = 20000
+    def node_group_fractions(self, trials: int = 20000,
+                             buckets: Sequence[int] = (800, 600)
                              ) -> Dict[int, float]:
         """The margin-aware scheduler's node groups (Section III-D3):
-        fractions of nodes in the 0.8, 0.6, and 0 GT/s classes.  The
-        paper reports 62% / 36% / 2%."""
+        fractions of nodes in each margin class plus the at-spec
+        class.  With the default DDR4 buckets (0.8 / 0.6 GT/s) the
+        paper reports 62% / 36% / 2%; pass a backend's own buckets
+        when characterizing another memory technology."""
         dist = self.node_margins(trials, margin_aware=True)
-        at_800 = dist.fraction_at_least(800)
-        at_600 = dist.fraction_at_least(600)
-        return {800: at_800, 600: at_600 - at_800,
-                0: 1.0 - at_600}
+        fractions: Dict[int, float] = {}
+        covered = 0.0
+        for bucket in sorted(buckets, reverse=True):
+            at_least = dist.fraction_at_least(bucket)
+            fractions[bucket] = at_least - covered
+            covered = at_least
+        fractions[0] = 1.0 - covered
+        return fractions

@@ -7,6 +7,7 @@
     python -m repro settings                # Table II settings
     python -m repro node --suite hpcg       # one node, four designs
     python -m repro hpc --nodes 256         # Figure 17-style system run
+    python -m repro backend compare         # DDR4-vs-MRDIMM study
     python -m repro chaos --smoke           # fault-injection campaign
     python -m repro adapt --smoke           # moving-margin adaptation
     python -m repro fleet profile           # profile a fleet registry
@@ -129,6 +130,16 @@ def _cmd_hpc(args: argparse.Namespace) -> int:
     from .hpc import (CONVENTIONAL_MODEL, Cluster, EasyBackfillScheduler,
                       MarginAwareAllocationPolicy, PerformanceModel,
                       SystemSimulator, TraceConfig, generate_trace)
+    from .sim.fidelity import FidelityError, ensure_fidelity_supported
+    try:
+        ensure_fidelity_supported(
+            args.fidelity,
+            knobs={"read_error_rate": args.read_error_rate,
+                   "transition_fault_rate": args.transition_fault_rate},
+            source="repro hpc --fidelity fast")
+    except FidelityError as exc:
+        print("repro hpc: {}".format(exc), file=sys.stderr)
+        return EXIT_DOMAIN_FAILURE
     if args.fidelity == "fast":
         from .fastmodel import (CalibrationError,
                                 performance_model_from_calibration)
@@ -137,6 +148,15 @@ def _cmd_hpc(args: argparse.Namespace) -> int:
         except CalibrationError as exc:
             print("repro hpc: {}".format(exc), file=sys.stderr)
             return EXIT_DOMAIN_FAILURE
+    elif args.read_error_rate or args.transition_fault_rate:
+        # Degraded fleet: derive the node-speedup model from real
+        # cycle simulations honoring the fault knobs instead of the
+        # clean transcribed Figure 12 constants.
+        from .characterization.crosstech import backend_performance_model
+        model = backend_performance_model(
+            refs_per_core=args.model_refs, seed=_resolve_seed(args),
+            read_error_rate=args.read_error_rate,
+            transition_fault_rate=args.transition_fault_rate)
     else:
         model = PerformanceModel()
     jobs = generate_trace(TraceConfig(total_nodes=args.nodes,
@@ -216,7 +236,7 @@ def _cmd_fastmodel(args: argparse.Namespace) -> int:
             calibration = run_calibration(
                 suites=suites,
                 refs_per_core=args.refs or GRID_REFS_PER_CORE,
-                progress=progress)
+                progress=progress, backend=args.backend)
         except (FastModelError, ValueError, KeyError) as exc:
             print("repro fastmodel: {}".format(exc), file=sys.stderr)
             return EXIT_DOMAIN_FAILURE
@@ -230,6 +250,7 @@ def _cmd_fastmodel(args: argparse.Namespace) -> int:
             if calibration.fit_errors else 0.0
         print(format_kv("fastmodel calibrate", [
             ["cells", len(calibration.cells)],
+            ["backend", calibration.backend],
             ["refs per core", calibration.refs_per_core],
             ["worst fit error", "{:.5f}".format(worst)],
             ["artifact", str(path)],
@@ -295,6 +316,83 @@ def _cmd_fastmodel(args: argparse.Namespace) -> int:
          ["mean_turnaround_s"]],
         ["wall s", "{:.2f}".format(report["wall_s"])],
     ]))
+    return EXIT_OK
+
+
+def _cmd_backend(args: argparse.Namespace) -> int:
+    import json
+    from .analysis.reporting import format_kv
+    from .characterization.crosstech import (characterize_backend,
+                                             compare_backends)
+
+    def write_report(report: dict) -> int:
+        if args.out:
+            try:
+                with open(args.out, "w") as fh:
+                    json.dump(report, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+            except OSError as exc:
+                print("repro backend: cannot write {}: {}".format(
+                    args.out, exc), file=sys.stderr)
+                return EXIT_IO_ERROR
+        return EXIT_OK
+
+    if args.backend_command == "characterize":
+        try:
+            report = characterize_backend(args.backend,
+                                          trials=args.trials,
+                                          seed=_resolve_seed(args))
+        except ValueError as exc:
+            print("repro backend: {}".format(exc), file=sys.stderr)
+            return EXIT_DOMAIN_FAILURE
+        status = write_report(report)
+        if status != EXIT_OK:
+            return status
+        pairs = [
+            ["backend", report["backend"]],
+            ["spec data rate MT/s", report["spec_data_rate_mts"]],
+            ["margin buckets", ", ".join(
+                str(m) for m in report["margin_buckets"])],
+        ]
+        for bucket, frac in report["node_group_fractions"].items():
+            pairs.append(["nodes @ {} MT/s".format(bucket),
+                          "{:.1%}".format(frac)])
+        if args.out:
+            pairs.append(["report", args.out])
+        print(format_kv("backend characterization", pairs))
+        return EXIT_OK
+
+    # compare
+    backends = tuple(b.strip() for b in args.backends.split(",")
+                     if b.strip())
+    try:
+        report = compare_backends(backends=backends,
+                                  refs_per_core=args.refs,
+                                  trials=args.trials,
+                                  total_nodes=args.nodes,
+                                  job_count=args.jobs,
+                                  seed=_resolve_seed(args))
+    except ValueError as exc:
+        print("repro backend: {}".format(exc), file=sys.stderr)
+        return EXIT_DOMAIN_FAILURE
+    status = write_report(report)
+    if status != EXIT_OK:
+        return status
+    pairs = []
+    for name, entry in report["backends"].items():
+        pairs.append(["{} spec MT/s".format(name),
+                      entry["spec_data_rate_mts"]])
+        pairs.append(["{} turnaround improvement".format(name),
+                      "{:.4f}x".format(
+                          entry["system"]
+                          ["mean_turnaround_improvement"])])
+    for name, row in report["comparison"].items():
+        pairs.append(["{} vs {} improvement delta".format(
+            name, row["vs"]), "{:+.4f}".format(
+                row["turnaround_improvement_delta"])])
+    if args.out:
+        pairs.append(["report", args.out])
+    print(format_kv("cross-technology backend comparison", pairs))
     return EXIT_OK
 
 
@@ -1089,6 +1187,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="node-speedup model: transcribed Figure 12 "
                           "defaults (cycle) or the calibrated fast "
                           "tier's predictions (fast)")
+    hpc.add_argument("--read-error-rate", type=float, default=0.0,
+                     help="margin-read error rate for a degraded "
+                          "fleet; derives the node-speedup model from "
+                          "cycle simulations honoring the faults "
+                          "(refused under --fidelity fast)")
+    hpc.add_argument("--transition-fault-rate", type=float,
+                     default=0.0,
+                     help="frequency-transition fault rate for a "
+                          "degraded fleet (refused under --fidelity "
+                          "fast)")
+    hpc.add_argument("--model-refs", type=int, default=300,
+                     help="trace references per core for the "
+                          "fault-aware model derivation")
 
     sweep = sub.add_parser(
         "sweep", parents=[common],
@@ -1131,6 +1242,10 @@ def build_parser() -> argparse.ArgumentParser:
                            ".json)")
     fcal.add_argument("--verbose", action="store_true",
                       help="print each calibrated cell")
+    fcal.add_argument("--backend", default=None,
+                      choices=("ddr4", "mrdimm"),
+                      help="memory-technology backend to calibrate "
+                           "(default: REPRO_BACKEND or ddr4)")
     fcheck = fsub.add_parser(
         "check", parents=[common],
         help="fig12 cycle-vs-fast cross-check: rankings + weighted "
@@ -1148,6 +1263,43 @@ def build_parser() -> argparse.ArgumentParser:
     fcluster.add_argument("--jobs", type=int, default=2000)
     fcluster.add_argument("--out", default=None,
                           help="write the report JSON here")
+
+    backend = sub.add_parser(
+        "backend", help="memory-technology backends: per-backend "
+                        "characterization and the cross-technology "
+                        "comparison artifact")
+    bsub = backend.add_subparsers(dest="backend_command",
+                                  required=True)
+    bchar = bsub.add_parser(
+        "characterize", parents=[common],
+        help="seeded margin Monte Carlo for one backend, bucketed "
+             "into its own scheduler classes")
+    bchar.add_argument("--backend", default=None,
+                       choices=("ddr4", "mrdimm"),
+                       help="memory-technology backend (default: "
+                            "REPRO_BACKEND or ddr4)")
+    bchar.add_argument("--trials", type=int, default=4000)
+    bchar.add_argument("--out", default=None,
+                       help="write the report JSON here")
+    bcomp = bsub.add_parser(
+        "compare", parents=[common],
+        help="cross-technology study: characterization + cycle-"
+             "measured node speedups + margin-aware placement per "
+             "backend, one deterministic artifact")
+    bcomp.add_argument("--backends", default="ddr4,mrdimm",
+                       help="comma-separated backend list (first is "
+                            "the comparison baseline)")
+    bcomp.add_argument("--refs", type=int, default=1500,
+                       help="trace references per core for the cycle "
+                            "speedup measurements")
+    bcomp.add_argument("--trials", type=int, default=4000,
+                       help="Monte Carlo trials per backend")
+    bcomp.add_argument("--nodes", type=int, default=200,
+                       help="cluster size for the placement phase")
+    bcomp.add_argument("--jobs", type=int, default=400,
+                       help="job-trace length for the placement phase")
+    bcomp.add_argument("--out", default=None,
+                       help="write the comparison artifact here")
 
     chaos = sub.add_parser(
         "chaos", parents=[common],
@@ -1423,6 +1575,7 @@ _HANDLERS = {
     "hpc": _cmd_hpc,
     "sweep": _cmd_sweep,
     "fastmodel": _cmd_fastmodel,
+    "backend": _cmd_backend,
     "chaos": _cmd_chaos,
     "adapt": _cmd_adapt,
     "fleet": _cmd_fleet,

@@ -1,6 +1,10 @@
 """DDR4 device and channel substrate (timing, banks, ranks, modules,
 frequency scaling, power)."""
 
+from .backend import (BACKEND_ENV_VAR, DDR4_BACKEND, MRDIMM_BACKEND,
+                      VALID_BACKENDS, DDR4Backend, MemoryBackend,
+                      MRDIMMBackend, backend_names, get_backend,
+                      resolve_backend)
 from .bank import Bank, BankStats
 from .channel import Channel, ChannelStats, SafetyViolation
 from .commands import Command, CommandType
@@ -22,6 +26,9 @@ from .timing import (BURST_LENGTH, DATA_RATE_STEP_MTS, DDR4_MAX_SPEC_MTS,
                      manufacturer_spec_3200)
 
 __all__ = [
+    "BACKEND_ENV_VAR", "DDR4_BACKEND", "MRDIMM_BACKEND", "VALID_BACKENDS",
+    "DDR4Backend", "MRDIMMBackend", "MemoryBackend", "backend_names",
+    "get_backend", "resolve_backend",
     "BANKS_PER_RANK", "BURST_LENGTH", "Bank", "BankStats", "Channel",
     "ChannelStats", "Command", "CommandType", "DDR5_GRADES", "DDR5_MAX_CHIPS_PER_RANK", "DDR5_SUBCHANNELS", "ProtocolChecker", "ProtocolViolation", "TimedCommand", "ddr5_fast_timing", "ddr5_timing", "ddr5_timings", "predicted_margin_mts", "DATA_RATE_STEP_MTS",
     "DDR4_ELEVATED_VOLTAGE", "DDR4_MAX_SPEC_MTS", "DDR4_STANDARD_VOLTAGE",

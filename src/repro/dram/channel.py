@@ -14,11 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from .backend import DDR4_BACKEND, MemoryBackend
 from .frequency import FrequencyMachine, FrequencyState
 from .module import Module
 from .rank import Rank
-from .timing import (TimingParameters, TimingTable, manufacturer_spec_3200,
-                     timing_table)
+from .timing import TimingParameters, TimingTable, manufacturer_spec_3200
 
 
 class SafetyViolation(Exception):
@@ -29,7 +29,9 @@ class SafetyViolation(Exception):
 #: Rank-to-rank switching bubble on the shared data bus, in bus clocks
 #: (DQS hand-off between ranks; the reason fewer ranks per channel can
 #: outperform more ranks for bus-bound workloads, cf. Figure 16).
-RANK_SWITCH_CLOCKS = 2.0
+#: This is the DDR4 value; channels consult their backend, which may
+#: override it (MRDIMM's data buffer hides part of the hand-off).
+RANK_SWITCH_CLOCKS = DDR4_BACKEND.rank_switch_clocks
 
 
 @dataclass
@@ -54,6 +56,9 @@ class Channel:
     bus_free_ns: float = 0.0
     stats: ChannelStats = field(default_factory=ChannelStats)
     enforce_safety: bool = True
+    #: Memory-technology backend: timing-table construction, the
+    #: rank-switch bubble, and mux topology all route through it.
+    backend: MemoryBackend = DDR4_BACKEND
 
     @property
     def timing(self) -> TimingParameters:
@@ -81,7 +86,7 @@ class Channel:
         """
         params = self.timing
         if self._tt_params is not params:
-            self._tt = timing_table(params)
+            self._tt = self.backend.make_table(params)
             self._tt_params = params
         return self._tt
 
@@ -153,7 +158,7 @@ class Channel:
         # the rank-to-rank switching bubble.
         if self._last_bus_rank is not None and \
                 self._last_bus_rank is not rank:
-            burst_start += RANK_SWITCH_CLOCKS * timing.tCK_ns
+            burst_start += self.backend.rank_switch_clocks * timing.tCK_ns
             self.stats.rank_switches += 1
         self._last_bus_rank = rank
         finish = burst_start + timing.burst_time_ns

@@ -41,15 +41,18 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..cache.hierarchy import HIERARCHIES
+from ..dram.backend import get_backend, resolve_backend
 from ..dram.frequency import TRANSITION_NS
 from ..dram.rank import BANKS_PER_RANK
-from ..dram.timing import manufacturer_spec_3200
 from ..workloads.registry import suite_names
 from .model import (MODEL_VERSION, FastModelError, evaluate, features,
                     read_timing, write_timing)
 
-#: Bump when the artifact schema changes.
-CALIBRATION_VERSION = 3
+#: Bump when the artifact schema changes.  v4: the grid is keyed by
+#: memory backend (spec timing, margin rungs, and rank topology come
+#: from :mod:`repro.dram.backend`), and the artifact records which
+#: backend it was fitted for.
+CALIBRATION_VERSION = 4
 
 #: Trace length the committed artifact is calibrated at.  Matches the
 #: sweep default: long enough that the cycle engine shows the figures'
@@ -61,14 +64,29 @@ GRID_REFS_PER_CORE = 3000
 #: Grid seed (the figure benches' default).
 GRID_SEED = 12345
 
-#: Effective designs x margins of the calibration grid.  None means
-#: the design never leaves spec timing (margin inert).
+#: Effective designs x margins of the DDR4 calibration grid.  None
+#: means the design never leaves spec timing (margin inert).  Other
+#: backends substitute their own margin rungs — see
+#: :func:`grid_designs`.
 GRID_DESIGNS: Tuple[Tuple[str, Tuple[Optional[int], ...]], ...] = (
     ("baseline", (None,)),
     ("fmr", (None,)),
     ("hetero-dmr", (800, 600)),
     ("hetero-dmr+fmr", (800, 600)),
 )
+
+
+def grid_designs(backend: Optional[str] = None
+                 ) -> Tuple[Tuple[str, Tuple[Optional[int], ...]], ...]:
+    """The calibration grid's designs x margins for ``backend`` (the
+    margin rungs are the backend's node-group buckets)."""
+    buckets = get_backend(backend).margin_buckets
+    return (
+        ("baseline", (None,)),
+        ("fmr", (None,)),
+        ("hetero-dmr", tuple(buckets)),
+        ("hetero-dmr+fmr", tuple(buckets)),
+    )
 
 #: Default artifact location, relative to the repo root.
 DEFAULT_ARTIFACT = Path("benchmarks") / "perf" / "fastmodel_calibration.json"
@@ -121,15 +139,19 @@ def _sha256(text: str) -> str:
 
 
 def grid_spec(suites: Tuple[str, ...], hierarchies: Tuple[str, ...],
-              refs_per_core: int, seed: int) -> dict:
+              refs_per_core: int, seed: int,
+              backend: Optional[str] = None) -> dict:
     """The complete grid specification the hash binds the artifact to.
 
     Everything that can change a calibrated number is in here: if a
-    timing constant, hierarchy geometry, or model constant moves, the
-    recomputed spec hash diverges from the stored one and the artifact
-    is refused as stale.
+    timing constant, hierarchy geometry, backend profile, or model
+    constant moves, the recomputed spec hash diverges from the stored
+    one and the artifact is refused as stale.
     """
-    spec = manufacturer_spec_3200()
+    backend_name = resolve_backend(backend)
+    backend_obj = get_backend(backend_name)
+    spec = backend_obj.spec_timing()
+    designs = grid_designs(backend_name)
     hier_geometry = {}
     for name in hierarchies:
         h = HIERARCHIES[name]()
@@ -140,11 +162,11 @@ def grid_spec(suites: Tuple[str, ...], hierarchies: Tuple[str, ...],
             "l2_bytes_per_core": h.l2_bytes_per_core,
             "l3_bytes_total": h.l3_bytes_total,
         }
-    margins = sorted({m for _, ms in GRID_DESIGNS
+    margins = sorted({m for _, ms in designs
                       for m in ms if m is not None}, reverse=True)
     margin_timing = {}
     for m in margins:
-        t = read_timing("hetero-dmr", m, True, None)
+        t = read_timing("hetero-dmr", m, True, None, backend_obj)
         margin_timing[str(m)] = {
             "data_rate_mts": t.data_rate_mts, "tRCD_ns": t.tRCD_ns,
             "tRP_ns": t.tRP_ns, "tRAS_ns": t.tRAS_ns,
@@ -154,9 +176,10 @@ def grid_spec(suites: Tuple[str, ...], hierarchies: Tuple[str, ...],
     return {
         "calibration_version": CALIBRATION_VERSION,
         "model_version": MODEL_VERSION,
+        "backend": backend_name,
         "suites": list(suites),
         "hierarchies": hier_geometry,
-        "designs": {d: list(ms) for d, ms in GRID_DESIGNS},
+        "designs": {d: list(ms) for d, ms in designs},
         "refs_per_core": refs_per_core,
         "seed": seed,
         "spec_timing": {
@@ -167,7 +190,9 @@ def grid_spec(suites: Tuple[str, ...], hierarchies: Tuple[str, ...],
         },
         "margin_timing": margin_timing,
         "constants": {"transition_ns": TRANSITION_NS,
-                      "banks_per_rank": BANKS_PER_RANK},
+                      "banks_per_rank": BANKS_PER_RANK,
+                      "rank_mux_factor": backend_obj.rank_mux_factor,
+                      "mux_latency_ns": backend_obj.mux_latency_ns},
     }
 
 
@@ -196,14 +221,21 @@ class Calibration:
 
     # -- lookups ------------------------------------------------------------------
 
+    @property
+    def backend(self) -> str:
+        """Backend the artifact was fitted for (pre-backend artifacts
+        were all DDR4)."""
+        return self.grid.get("backend", "ddr4")
+
     def _margins_for(self, suite: str, hierarchy: str,
                      design: str) -> List[Optional[int]]:
-        for d, margins in GRID_DESIGNS:
-            if d == design:
-                return [m for m in margins
-                        if cell_id(suite, hierarchy, design, m)
-                        in self.cells]
-        return []
+        # Read the margins from the artifact's own grid, NOT the global
+        # DDR4 constant — an MRDIMM artifact calibrates different rungs.
+        margins = self.grid.get("designs", {}).get(design)
+        if margins is None:
+            return []
+        return [m for m in margins
+                if cell_id(suite, hierarchy, design, m) in self.cells]
 
     def lookup_cell(self, suite: str, hierarchy: str, design: str,
                     margin_mts: int) -> dict:
@@ -297,7 +329,8 @@ class Calibration:
             current = grid_spec(tuple(grid.get("suites", ())),
                                 tuple(grid.get("hierarchies", {})),
                                 grid.get("refs_per_core", 0),
-                                grid.get("seed", 0))
+                                grid.get("seed", 0),
+                                grid.get("backend", "ddr4"))
             if data.get("grid_hash") != grid_hash(current):
                 raise StaleCalibrationError(
                     "calibration grid hash mismatch: the artifact was "
@@ -366,12 +399,16 @@ def _cell_record(result, refs_per_core: int) -> dict:
 
 
 def _cell_features(hier, design: str, margin: Optional[int],
-                   record: dict) -> dict:
-    m = 800 if margin is None else margin
-    return features(hier, design, read_timing(design, m, True, None),
-                    write_timing(design, None), record["reads_n"],
-                    record["writes_n"], record["row_hit_rate"],
-                    record["entries_n"])
+                   record: dict, backend_obj=None) -> dict:
+    from ..dram.backend import DDR4_BACKEND
+    backend_obj = backend_obj or DDR4_BACKEND
+    m = backend_obj.margin_buckets[0] if margin is None else margin
+    return features(hier, design,
+                    read_timing(design, m, True, None, backend_obj),
+                    write_timing(design, None, backend_obj),
+                    record["reads_n"], record["writes_n"],
+                    record["row_hit_rate"], record["entries_n"],
+                    backend_obj)
 
 
 def run_calibration(suites: Optional[Tuple[str, ...]] = None,
@@ -379,16 +416,21 @@ def run_calibration(suites: Optional[Tuple[str, ...]] = None,
                     refs_per_core: int = GRID_REFS_PER_CORE,
                     seed: int = GRID_SEED,
                     engine: Optional[str] = None,
+                    backend: Optional[str] = None,
                     progress=None) -> Calibration:
     """One-shot calibration pass: run the effective-cell grid on the
     cycle engine, fit slopes and intercepts, return the artifact
     (unsaved).  ``progress`` is an optional callable fed one line per
     completed simulation."""
     from ..sim.node import NodeConfig, simulate_node
+    backend_name = resolve_backend(backend)
+    backend_obj = get_backend(backend_name)
+    designs = grid_designs(backend_name)
     suites = tuple(suites) if suites else tuple(suite_names())
     hierarchies = (tuple(hierarchies) if hierarchies
                    else tuple(HIERARCHIES))
-    spec = grid_spec(suites, hierarchies, refs_per_core, seed)
+    spec = grid_spec(suites, hierarchies, refs_per_core, seed,
+                     backend_name)
     cells: Dict[str, dict] = {}
     slopes: Dict[str, float] = {}
     intercepts: Dict[str, float] = {}
@@ -397,14 +439,16 @@ def run_calibration(suites: Optional[Tuple[str, ...]] = None,
         hier = HIERARCHIES[hier_name]()
         for suite in suites:
             pair_cells: List[Tuple[str, Optional[int], dict]] = []
-            for design, margins in GRID_DESIGNS:
+            for design, margins in designs:
                 for margin in margins:
                     result = simulate_node(NodeConfig(
                         suite=suite, hierarchy=hier, design=design,
-                        margin_mts=800 if margin is None else margin,
+                        margin_mts=backend_obj.margin_buckets[0]
+                        if margin is None else margin,
                         memory_utilization=0.15,
                         refs_per_core=refs_per_core, seed=seed,
-                        engine=engine, fidelity="cycle"))
+                        engine=engine, fidelity="cycle",
+                        backend=backend_name))
                     record = _cell_record(result, refs_per_core)
                     cells[cell_id(suite, hier_name, design,
                                   margin)] = record
@@ -422,8 +466,10 @@ def run_calibration(suites: Optional[Tuple[str, ...]] = None,
                 concrete = [(m, r) for m, r in members if m is not None]
                 for (m_a, r_a), (m_b, r_b) in zip(concrete,
                                                   concrete[1:]):
-                    f_a = _cell_features(hier, design, m_a, r_a)
-                    f_b = _cell_features(hier, design, m_b, r_b)
+                    f_a = _cell_features(hier, design, m_a, r_a,
+                                         backend_obj)
+                    f_b = _cell_features(hier, design, m_b, r_b,
+                                         backend_obj)
                     dt = (r_b["t_norm_cycle"] - f_b["offset"]) - \
                         (r_a["t_norm_cycle"] - f_a["offset"])
                     dx = f_b["x_total"] - f_a["x_total"]
@@ -437,14 +483,16 @@ def run_calibration(suites: Optional[Tuple[str, ...]] = None,
             for design, members in by_design.items():
                 residuals = []
                 for margin, record in members:
-                    feats = _cell_features(hier, design, margin, record)
+                    feats = _cell_features(hier, design, margin, record,
+                                           backend_obj)
                     residuals.append(
                         record["t_norm_cycle"]
                         - slope * feats["x_total"] - feats["offset"])
                 intercepts["{}|{}|{}".format(suite, hier_name, design)] \
                     = sum(residuals) / len(residuals)
                 for margin, record in members:
-                    feats = _cell_features(hier, design, margin, record)
+                    feats = _cell_features(hier, design, margin, record,
+                                           backend_obj)
                     pred = evaluate(
                         intercepts["{}|{}|{}".format(suite, hier_name,
                                                      design)],

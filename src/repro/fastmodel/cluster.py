@@ -29,8 +29,21 @@ from .model import predict_cell
 _BUCKET_TO_JOB = {"0-25": "under_25", "25-50": "25_to_50",
                   "50-100": "over_50"}
 
-#: Node margins the scheduler's classes use (plus the no-margin class).
+#: Node margins the scheduler's classes use (plus the no-margin class)
+#: when the calibration grid predates per-design margin lists.
 _MODEL_MARGINS = (800, 600)
+
+
+def model_margins(calibration: Calibration,
+                  design: str = "hetero-dmr") -> Tuple[int, ...]:
+    """Concrete node margins the calibration was fit over for
+    ``design`` — the scheduler classes a derived system model must
+    carry.  Grid-derived so an MRDIMM calibration yields MRDIMM-scale
+    buckets (2200/1600), not the DDR4 constants."""
+    designs = calibration.grid.get("designs") or {}
+    margins = tuple(m for m in designs.get(design, ())
+                    if m is not None)
+    return margins or _MODEL_MARGINS
 
 
 def performance_model_from_calibration(
@@ -52,8 +65,9 @@ def performance_model_from_calibration(
     hierarchies = tuple(hierarchies) if hierarchies else \
         tuple(calibration.grid["hierarchies"])
     hiers = [HIERARCHIES[name]() for name in hierarchies]
+    margins = model_margins(calibration, design)
     speedups: Dict[int, Dict[str, float]] = {}
-    for margin in _MODEL_MARGINS:
+    for margin in margins:
         table: Dict[str, float] = {}
         for bucket, util in BUCKET_UTILIZATION.items():
             eff = effective_design(design, util)
@@ -62,7 +76,8 @@ def performance_model_from_calibration(
                 per_suite = {}
                 for suite in suites:
                     base = predict_cell(calibration, suite, hier,
-                                        "baseline", 800)["t_norm"]
+                                        "baseline",
+                                        margins[0])["t_norm"]
                     cell = predict_cell(calibration, suite, hier, eff,
                                         margin)["t_norm"]
                     per_suite[suite] = base / cell

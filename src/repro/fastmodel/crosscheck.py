@@ -40,8 +40,17 @@ from .model import predict_cell
 #: Figure 12 designs (as configured; utilization resolves them).
 FIG12_DESIGNS = ("fmr", "hetero-dmr", "hetero-dmr+fmr")
 
-#: Figure 12 margin settings, MT/s above specification.
+#: Figure 12 margin settings, MT/s above specification (the DDR4
+#: defaults; checks against a calibration artifact use the artifact's
+#: own grid margins so MRDIMM artifacts check their 2200/1600 rungs).
 FIG12_MARGINS = (800, 600)
+
+
+def _grid_margins(calibration: Calibration) -> Tuple[int, ...]:
+    designs = calibration.grid.get("designs") or {}
+    margins = tuple(m for m in designs.get("hetero-dmr", ())
+                    if m is not None)
+    return margins or FIG12_MARGINS
 
 #: Maximum absolute disagreement tolerated on any weighted speedup.
 #: The committed calibration fits the cycle grid to well under 0.005;
@@ -91,8 +100,9 @@ def _inversions(cycle: Dict[str, float],
 
 def _t_cycle(calibration: Calibration, suite: str, hier_name: str,
              design: str, margin: Optional[int]) -> float:
-    cell = calibration.lookup_cell(suite, hier_name, design,
-                                   800 if margin is None else margin)
+    if margin is None:
+        margin = _grid_margins(calibration)[0]
+    cell = calibration.lookup_cell(suite, hier_name, design, margin)
     return cell["t_norm_cycle"]
 
 
@@ -117,6 +127,7 @@ def fig12_speedups(calibration: Optional[Calibration] = None,
     if missing:
         raise ValueError("suites not in calibration grid: {}".format(
             ", ".join(missing)))
+    margins = _grid_margins(calibration)
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     for hier_name in hierarchies:
         hier = HIERARCHIES[hier_name]()
@@ -134,11 +145,11 @@ def fig12_speedups(calibration: Optional[Calibration] = None,
             base = {s: _t_cycle(calibration, s, hier_name, "baseline",
                                 None) if tier == "cycle"
                     else predict_cell(calibration, s, hier, "baseline",
-                                      800)["t_norm"]
+                                      margins[0])["t_norm"]
                     for s in suites}
             for design in FIG12_DESIGNS:
                 per_margin = {}
-                for margin in FIG12_MARGINS:
+                for margin in margins:
                     per_bucket = {}
                     for bucket, util in BUCKET_UTILIZATION.items():
                         cell = suite_average({
@@ -153,9 +164,12 @@ def fig12_speedups(calibration: Optional[Calibration] = None,
                     bars[tier]["{}@{}/all".format(design,
                                                   margin)] = weighted
                     per_margin[margin] = weighted
+                # Group fractions apply by bucket *rank* (fastest
+                # first), so MRDIMM rungs reuse the 62/36 split.
+                mweights = dict(zip(margins, MARGIN_WEIGHTS.values()))
                 bars[tier]["{}/headline".format(design)] = weighted_mean(
-                    [per_margin[m] for m in MARGIN_WEIGHTS],
-                    [MARGIN_WEIGHTS[m] for m in MARGIN_WEIGHTS])
+                    [per_margin[m] for m in mweights],
+                    [mweights[m] for m in mweights])
         out[hier_name] = bars
     return out
 

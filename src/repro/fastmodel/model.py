@@ -46,11 +46,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..cache.hierarchy import HierarchyConfig
-from ..core.config import HeteroDMRConfig
+from ..dram.backend import DDR4_BACKEND, MemoryBackend, resolve_backend
 from ..dram.frequency import TRANSITION_NS
 from ..dram.rank import BANKS_PER_RANK
-from ..dram.timing import TimingParameters, manufacturer_spec_3200
+from ..dram.timing import TimingParameters
 from ..mem_ctrl.policy import CONVENTIONAL_TURNAROUND_NS
+from ..sim.fidelity import ensure_fidelity_supported
 
 if TYPE_CHECKING:   # pragma: no cover - import cycle guard
     from ..sim.node import NodeConfig, NodeResult
@@ -73,34 +74,37 @@ class FastModelError(ValueError):
 
 
 def read_timing(design: str, margin_mts: int, use_latency_margin: bool,
-                timing: Optional[TimingParameters]) -> TimingParameters:
+                timing: Optional[TimingParameters],
+                backend: MemoryBackend = DDR4_BACKEND) -> TimingParameters:
     """The timing the channel runs during read mode for ``design``.
 
     Mirrors ``NodeSimulation._build_channels``: Hetero-DMR designs boot
     into the fast setting (spec + margin, optionally + latency margin)
     regardless of any safe-timing override; everything else reads at
-    the override or the manufacturer specification.
+    the override or the backend's specified setting.
     """
     if design in _MARGIN_DESIGNS:
-        return HeteroDMRConfig(
-            margin_mts=margin_mts,
-            use_latency_margin=use_latency_margin).fast_timing()
-    return timing or manufacturer_spec_3200()
+        return backend.fast_timing(margin_mts, use_latency_margin)
+    return timing or backend.spec_timing()
 
 
-def write_timing(design: str,
-                 timing: Optional[TimingParameters]) -> TimingParameters:
+def write_timing(design: str, timing: Optional[TimingParameters],
+                 backend: MemoryBackend = DDR4_BACKEND
+                 ) -> TimingParameters:
     """The timing in force while write batches drain: Hetero-DMR
     transitions back to the safe setting; other designs never leave
     their configured timing."""
     if design in _MARGIN_DESIGNS:
-        return manufacturer_spec_3200()
-    return timing or manufacturer_spec_3200()
+        return backend.spec_timing()
+    return timing or backend.spec_timing()
 
 
-def banks_per_channel(hierarchy: HierarchyConfig, design: str) -> int:
-    """Banks available to demand traffic on one channel."""
-    ranks = hierarchy.modules_per_channel * hierarchy.ranks_per_module
+def banks_per_channel(hierarchy: HierarchyConfig, design: str,
+                      backend: MemoryBackend = DDR4_BACKEND) -> int:
+    """Banks available to demand traffic on one channel (the backend's
+    rank multiplexing multiplies the logical ranks)."""
+    ranks = hierarchy.modules_per_channel * \
+        backend.effective_ranks(hierarchy.ranks_per_module)
     if design in _REPLICATING_DESIGNS:
         ranks //= 2
     return ranks * BANKS_PER_RANK
@@ -109,7 +113,8 @@ def banks_per_channel(hierarchy: HierarchyConfig, design: str) -> int:
 def features(hierarchy: HierarchyConfig, design: str,
              read_t: TimingParameters, write_t: TimingParameters,
              reads_n: float, writes_n: float, row_hit_rate: float,
-             entries_n: float) -> Dict[str, float]:
+             entries_n: float,
+             backend: MemoryBackend = DDR4_BACKEND) -> Dict[str, float]:
     """The model's feature terms for one cell.
 
     Counts are normalized per core-reference-step (``count /
@@ -122,7 +127,7 @@ def features(hierarchy: HierarchyConfig, design: str,
     refresh_inflation = 1.0 / (1.0 - read_t.tRFC_ns / read_t.tREFI_ns)
     x_bus = reads_n * read_t.burst_time_ns * refresh_inflation / nchan
     x_row = (reads_n * miss * (read_t.tRCD_ns + read_t.tRP_ns)
-             / (nchan * banks_per_channel(hierarchy, design)))
+             / (nchan * banks_per_channel(hierarchy, design, backend)))
     x_write = writes_n * write_t.burst_time_ns / nchan
     x_dep = (reads_n / hierarchy.cores) * (
         read_t.tCAS_ns + miss * read_t.tRCD_ns + read_t.burst_time_ns)
@@ -155,30 +160,35 @@ def predict_cell(calibration: "Calibration", suite: str,
     track the requested margin exactly — that is what lets the
     adaptive ladder's intermediate rungs use the fast tier.
     """
+    from ..dram.backend import get_backend
+    backend = get_backend(calibration.backend)
     cell = calibration.lookup_cell(suite, hierarchy.name, design,
                                    margin_mts)
     slope = calibration.slope_for(suite, hierarchy.name)
     intercept = calibration.intercept_for(suite, hierarchy.name, design)
-    read_t = read_timing(design, margin_mts, use_latency_margin, timing)
-    write_t = write_timing(design, timing)
+    read_t = read_timing(design, margin_mts, use_latency_margin, timing,
+                         backend)
+    write_t = write_timing(design, timing, backend)
     feats = features(hierarchy, design, read_t, write_t,
                      cell["reads_n"], cell["writes_n"],
-                     cell["row_hit_rate"], cell["entries_n"])
+                     cell["row_hit_rate"], cell["entries_n"], backend)
     out = dict(cell)
     out["t_norm"] = evaluate(intercept, slope, feats)
     return out
 
 
 def _validate_fast_config(config: "NodeConfig") -> None:
-    if config.read_error_rate > 0.0 or config.transition_fault_rate > 0.0:
-        raise FastModelError(
-            "fast fidelity does not model fault injection "
-            "(read_error_rate / transition_fault_rate); use the cycle "
-            "tier for chaos cells")
-    if config.channel_margins is not None:
-        raise FastModelError(
-            "fast fidelity does not model per-channel margins; use the "
-            "cycle tier")
+    """Last-line guard for configs whose fidelity resolved to "fast"
+    through the environment (explicit ``fidelity="fast"`` configs were
+    already validated at construction).  Raises the same typed
+    :class:`~repro.sim.fidelity.FidelityError` as every other entry
+    point, with the offending knob named."""
+    ensure_fidelity_supported(
+        "fast",
+        knobs={"read_error_rate": config.read_error_rate,
+               "transition_fault_rate": config.transition_fault_rate,
+               "channel_margins": config.channel_margins},
+        source="fastmodel")
 
 
 def simulate_nodes_fast(configs: "List[NodeConfig]",
@@ -193,13 +203,25 @@ def simulate_nodes_fast(configs: "List[NodeConfig]",
     cells.
     """
     from ..sim.node import NodeResult, effective_design
+    from .calibration import StaleCalibrationError
     from .vector import batch_t_norms
     if calibration is None:
         from .calibration import load_default_calibration
         calibration = load_default_calibration()
+    from ..dram.backend import get_backend
+    cal_backend = calibration.backend
+    backend = get_backend(cal_backend)
     rows, cells, effs = [], [], []
     for config in configs:
         _validate_fast_config(config)
+        config_backend = resolve_backend(config.backend)
+        if config_backend != cal_backend:
+            raise StaleCalibrationError(
+                "calibration artifact was fitted for backend {!r} but "
+                "the configuration asks for {!r}; run `repro fastmodel "
+                "calibrate --backend {}` and point REPRO_CALIBRATION "
+                "at the result".format(cal_backend, config_backend,
+                                       config_backend))
         eff = effective_design(config.design, config.memory_utilization)
         cell = calibration.lookup_cell(config.suite,
                                        config.hierarchy.name, eff,
@@ -210,10 +232,11 @@ def simulate_nodes_fast(configs: "List[NodeConfig]",
             "slope": calibration.slope_for(config.suite,
                                            config.hierarchy.name),
             "hierarchy": config.hierarchy, "design": eff,
+            "backend": backend,
             "read_t": read_timing(eff, config.margin_mts,
                                   config.use_latency_margin,
-                                  config.timing),
-            "write_t": write_timing(eff, config.timing),
+                                  config.timing, backend),
+            "write_t": write_timing(eff, config.timing, backend),
             "reads_n": cell["reads_n"], "writes_n": cell["writes_n"],
             "row_hit_rate": cell["row_hit_rate"],
             "entries_n": cell["entries_n"],

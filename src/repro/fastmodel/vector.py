@@ -47,14 +47,17 @@ def batch_t_norms(rows: List[dict]) -> List[float]:
 
 
 def _scalar(row: dict) -> float:
+    from ..dram.backend import DDR4_BACKEND
     feats = features(row["hierarchy"], row["design"], row["read_t"],
                      row["write_t"], row["reads_n"], row["writes_n"],
-                     row["row_hit_rate"], row["entries_n"])
+                     row["row_hit_rate"], row["entries_n"],
+                     row.get("backend", DDR4_BACKEND))
     return evaluate(row["intercept"], row["slope"], feats)
 
 
 def _vectorized(rows: List[dict]) -> List[float]:
     from .model import _MARGIN_DESIGNS, banks_per_channel
+    from ..dram.backend import DDR4_BACKEND
     from ..dram.frequency import TRANSITION_NS
     from ..mem_ctrl.policy import CONVENTIONAL_TURNAROUND_NS
 
@@ -69,8 +72,8 @@ def _vectorized(rows: List[dict]) -> List[float]:
     entries = col(lambda r: r["entries_n"])
     nchan = col(lambda r: float(r["hierarchy"].channels))
     cores = col(lambda r: float(r["hierarchy"].cores))
-    banks = col(lambda r: float(banks_per_channel(r["hierarchy"],
-                                                  r["design"])))
+    banks = col(lambda r: float(banks_per_channel(
+        r["hierarchy"], r["design"], r.get("backend", DDR4_BACKEND))))
     burst_r = col(lambda r: r["read_t"].burst_time_ns)
     trfc = col(lambda r: r["read_t"].tRFC_ns)
     trefi = col(lambda r: r["read_t"].tREFI_ns)

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.margin_selection import bucket_node_margin
+from ..core.margin_selection import (NODE_MARGIN_BUCKETS,
+                                     bucket_node_margin)
 from .cluster import Cluster, ClusterNode
 from .job import Job
 
@@ -38,9 +39,20 @@ class MarginAwareAllocationPolicy(AllocationPolicy):
     degradation ladder has demoted it mid-campaign drops into a slower
     group (or out of margin placement entirely at spec) without the
     scheduler needing to know why.
+
+    ``buckets`` sets the margin classes nodes are grouped into; the
+    default is the paper's DDR4 evaluation buckets.  A fleet profiled
+    on a different memory technology must pass its own buckets (e.g.
+    MRDIMM's 2200/1600 MT/s rungs — against the DDR4 defaults every
+    MRDIMM node would snap into the 800 class and grouping would be a
+    no-op).
     """
 
     name = "margin-aware"
+
+    def __init__(self,
+                 buckets: Sequence[int] = NODE_MARGIN_BUCKETS):
+        self.buckets = tuple(buckets)
 
     def select(self, free_nodes: List[ClusterNode],
                count: int) -> Optional[List[ClusterNode]]:
@@ -49,7 +61,8 @@ class MarginAwareAllocationPolicy(AllocationPolicy):
         groups: Dict[int, List[ClusterNode]] = {}
         for node in free_nodes:
             groups.setdefault(
-                bucket_node_margin(node.effective_margin_mts),
+                bucket_node_margin(node.effective_margin_mts,
+                                   self.buckets),
                 []).append(node)
         # Fastest group that alone satisfies the request.
         for margin in sorted(groups, reverse=True):

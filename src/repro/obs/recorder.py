@@ -133,9 +133,18 @@ class _Histogram:
     def quantiles(self) -> Dict[str, float]:
         """Exact nearest-rank quantiles (the q-th value is the
         ``ceil(q*n)``-th smallest observation), keyed by the
-        :data:`QUANTILES` names."""
+        :data:`QUANTILES` names.
+
+        Empty series have no quantiles — return ``{}`` rather than
+        letting rank 0 index ``ordered[-1]`` (an ``IndexError`` on an
+        empty list, or worse, silently the *maximum* had the clamp
+        order differed).  For n=1 every quantile, p999 included, is
+        that sample.
+        """
         ordered = sorted(self.samples)
         n = len(ordered)
+        if n == 0:
+            return {}
         out: Dict[str, float] = {}
         for name, q in QUANTILES:
             rank = min(n, max(1, math.ceil(q * n)))

@@ -25,7 +25,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..cache.hierarchy import HIERARCHIES
-from ..sim.fidelity import resolve_fidelity
+from ..dram.backend import resolve_backend
+from ..sim.fidelity import ensure_fidelity_supported
 from ..sim.node import NodeConfig, effective_design, simulate_node
 from ..sim.runner import BUCKET_UTILIZATION
 from ..workloads.registry import suite_names
@@ -42,14 +43,21 @@ def available_cpus() -> int:
     where a recorded bench claimed ``workers: {requested: 8, used: 1}``
     with no explanation.  Prefer the scheduler affinity mask where the
     platform exposes it.
+
+    On platforms without ``sched_getaffinity`` (macOS, Windows) — or
+    when the call fails, or reports an empty mask — fall back to
+    ``os.cpu_count()``; the result is never 0 or ``None``.
     """
     getaffinity = getattr(os, "sched_getaffinity", None)
     if getaffinity is not None:
         try:
-            return max(1, len(getaffinity(0)))
-        except OSError:       # pragma: no cover - exotic platforms
-            pass
-    return os.cpu_count() or 1
+            count = len(getaffinity(0))
+        except (OSError, ValueError):  # pragma: no cover - exotic
+            count = 0
+        if count > 0:
+            return count
+    count = os.cpu_count() or 0
+    return count if count > 0 else 1
 
 #: NodeResult fields copied into each cell's result record.
 _RESULT_FIELDS = (
@@ -87,6 +95,13 @@ class SweepConfig:
     #: runner skips the process pool and evaluates the whole grid as
     #: one numpy batch.
     fidelity: Optional[str] = None
+    #: Memory-technology backend for every cell ("ddr4", "mrdimm", or
+    #: None for the ``REPRO_BACKEND`` default).
+    backend: Optional[str] = None
+    #: Fault-injection knobs applied to every margin-bearing cell
+    #: (chaos-style campaigns over the grid); cycle fidelity only.
+    read_error_rate: float = 0.0
+    transition_fault_rate: float = 0.0
     #: Cap ``workers`` at the host's CPU count before fanning out.
     #: Results are identical at any worker count, so the cap is purely
     #: a performance decision — oversubscribing cores only adds pool
@@ -105,8 +120,20 @@ class SweepConfig:
         for b in self.buckets:
             if b not in BUCKET_UTILIZATION:
                 raise ValueError("unknown bucket {!r}".format(b))
+        if self.backend is not None:
+            resolve_backend(self.backend)
+        for knob in ("read_error_rate", "transition_fault_rate"):
+            if not 0.0 <= getattr(self, knob) <= 1.0:
+                raise ValueError("{} must be a probability".format(knob))
         if self.fidelity is not None:
-            resolve_fidelity(self.fidelity)
+            # Validate the tier AND the knob combination right here at
+            # config construction, not deep inside a pool worker.
+            ensure_fidelity_supported(
+                self.fidelity,
+                knobs={"read_error_rate": self.read_error_rate,
+                       "transition_fault_rate":
+                           self.transition_fault_rate},
+                source="SweepConfig")
 
     def cells(self) -> List[dict]:
         """The sweep's cells in deterministic grid order."""
@@ -144,13 +171,16 @@ def cell_key(cell: dict) -> tuple:
 
 def _task_config(task: Tuple) -> NodeConfig:
     (suite, hierarchy, design, margin_mts, bucket, seed, refs,
-     engine, fidelity) = task
+     engine, fidelity, backend, read_error_rate,
+     transition_fault_rate) = task
     return NodeConfig(
         suite=suite, hierarchy=HIERARCHIES[hierarchy](), design=design,
         margin_mts=margin_mts,
         memory_utilization=BUCKET_UTILIZATION[bucket],
         refs_per_core=refs, seed=seed, engine=engine,
-        fidelity=fidelity)
+        fidelity=fidelity, backend=backend,
+        read_error_rate=read_error_rate,
+        transition_fault_rate=transition_fault_rate)
 
 
 def _outcome(result) -> dict:
@@ -209,8 +239,15 @@ class SweepRunner:
     def __init__(self, config: SweepConfig):
         self.config = config
         # Resolve once (environment included) so every worker receives
-        # an explicit tier and the whole sweep provably ran on one.
-        self._fidelity = resolve_fidelity(config.fidelity)
+        # an explicit tier/backend and the whole sweep provably ran on
+        # one; the knob guard re-runs here because an env-resolved
+        # "fast" bypasses the config-time check.
+        self._fidelity = ensure_fidelity_supported(
+            config.fidelity,
+            knobs={"read_error_rate": config.read_error_rate,
+                   "transition_fault_rate": config.transition_fault_rate},
+            source="SweepRunner")
+        self._backend = resolve_backend(config.backend)
 
     def _unique_tasks(self, cells: List[dict]
                       ) -> Tuple[List[Tuple], Dict[tuple, int]]:
@@ -228,7 +265,9 @@ class SweepRunner:
                           cell["design"], cell["margin_mts"],
                           cell["bucket"], cell["seed"],
                           cfg.refs_per_core, cfg.engine,
-                          self._fidelity))
+                          self._fidelity, self._backend,
+                          cfg.read_error_rate,
+                          cfg.transition_fault_rate))
         return tasks, order
 
     def _map(self, tasks: List[Tuple]) -> List[dict]:

@@ -143,12 +143,26 @@ class ChaosConfig:
     # Cluster phase.
     cluster_nodes: int = 25
     cluster_jobs: int = 10
-    #: Fidelity tier for the cluster phase's performance model:
-    #: "cycle" uses the transcribed Figure 12 defaults, "fast" derives
-    #: the model from the fast tier's calibration artifact.  The node
-    #: phase always runs cycle fidelity — its fault-injection knobs are
-    #: exactly what the closed form refuses to model.
+    #: Fidelity tier for the campaign: "cycle" uses the transcribed
+    #: Figure 12 defaults, "fast" derives the cluster-phase model from
+    #: the fast tier's calibration artifact.  Fast fidelity cannot
+    #: model the node phase's fault-injection knobs, so a fast campaign
+    #: must zero ``node_read_error_rate`` and
+    #: ``node_transition_fault_rate`` explicitly — any other
+    #: combination is refused at construction time with a
+    #: :class:`~repro.sim.fidelity.FidelityError`.
     fidelity: str = "cycle"
+
+    def __post_init__(self) -> None:
+        from ..sim.fidelity import ensure_fidelity_supported
+        ensure_fidelity_supported(
+            self.fidelity,
+            knobs={
+                "node_read_error_rate": self.node_read_error_rate,
+                "node_transition_fault_rate":
+                    self.node_transition_fault_rate,
+            },
+            source="ChaosConfig")
 
     @property
     def duration_ns(self) -> float:

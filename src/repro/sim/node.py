@@ -28,9 +28,10 @@ from ..core.config import (DUAL_COPY_UTILIZATION_LIMIT, HeteroDMRConfig,
 from ..core.policies import (BaselinePolicy, FmrPolicy, HeteroDMRPolicy,
                              HeteroFmrPolicy, PlainBaselinePolicy)
 from ..cpu.core import Core
+from ..dram.backend import VALID_BACKENDS, MemoryBackend, get_backend
 from ..dram.channel import Channel
 from ..dram.module import Module, ModuleSpec
-from ..dram.timing import TimingParameters, manufacturer_spec_3200
+from ..dram.timing import TimingParameters
 from ..mem_ctrl.address_map import AddressMapping
 from ..mem_ctrl.controller import MemoryController
 from ..mem_ctrl.policy import AccessPolicy
@@ -38,7 +39,8 @@ from ..obs import get_recorder
 from ..workloads.base import TraceGenerator
 from ..workloads.registry import get_profile
 from .engine import VALID_ENGINES, EventLoop, make_event_loop
-from .fidelity import VALID_FIDELITIES, resolve_fidelity
+from .fidelity import (VALID_FIDELITIES, ensure_fidelity_supported,
+                       resolve_fidelity)
 
 #: Designs understood by the simulator.
 DESIGNS = ("baseline", "baseline-plain", "fmr", "hetero-dmr",
@@ -104,6 +106,11 @@ class NodeConfig:
     #: tiers produce *different* numbers — the fast tier is an
     #: approximation cross-checked on the Figure 12 grid.
     fidelity: Optional[str] = None
+    #: Memory-technology backend: "ddr4", "mrdimm", or None to defer to
+    #: the ``REPRO_BACKEND`` environment variable (defaulting to ddr4).
+    #: The backend decides spec/fast timing profiles, rank-mux topology,
+    #: and the refresh economics (see :mod:`repro.dram.backend`).
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.transition_fault_rate <= 1.0:
@@ -127,6 +134,18 @@ class NodeConfig:
                 self.fidelity not in VALID_FIDELITIES:
             raise ValueError("unknown fidelity {!r}; valid: {}".format(
                 self.fidelity, ", ".join(VALID_FIDELITIES)))
+        if self.backend is not None and self.backend not in VALID_BACKENDS:
+            raise ValueError("unknown backend {!r}; valid: {}".format(
+                self.backend, ", ".join(VALID_BACKENDS)))
+        if self.fidelity == "fast":
+            # Reject unsupported knob combinations here, at config
+            # construction, instead of deep inside the fast model.
+            ensure_fidelity_supported(
+                self.fidelity,
+                knobs={"read_error_rate": self.read_error_rate,
+                       "transition_fault_rate": self.transition_fault_rate,
+                       "channel_margins": self.channel_margins},
+                source="NodeConfig")
 
 
 @dataclass
@@ -186,9 +205,13 @@ class NodeSimulation:
         hier = config.hierarchy
         self.hierarchy = CacheHierarchy(hier)
         self.effective_design = self._effective_design()
-        spec_timing = config.timing or manufacturer_spec_3200()
+        self.backend: MemoryBackend = get_backend(config.backend)
+        spec_timing = config.timing or self.backend.spec_timing()
         self.channels = self._build_channels(spec_timing)
-        total_ranks = hier.modules_per_channel * hier.ranks_per_module
+        # The controller addresses *logical* ranks; a multiplexed-rank
+        # backend exposes rank_mux_factor x the physical ranks.
+        total_ranks = hier.modules_per_channel * \
+            self.backend.effective_ranks(hier.ranks_per_module)
         if self.effective_design in ("fmr", "hetero-dmr", "hetero-dmr+fmr"):
             # Replication-active designs compact used pages into half
             # the modules (PASR-style freeing, Section III-E), so
@@ -260,18 +283,20 @@ class NodeSimulation:
     def _build_channels(self, spec_timing: TimingParameters) -> List[Channel]:
         hier = self.config.hierarchy
         channels = []
+        backend = self.backend
+        spec = ModuleSpec(
+            spec_data_rate_mts=backend.spec_data_rate_mts,
+            ranks_per_module=backend.effective_ranks(hier.ranks_per_module))
         for c in range(hier.channels):
             margin = self._channel_margin(c)
-            hdmr = HeteroDMRConfig(
-                margin_mts=margin,
-                use_latency_margin=self.config.use_latency_margin,
-                read_error_rate=self.config.read_error_rate)
-            modules = [Module(ModuleSpec(), "C{}M{}".format(c, m),
+            modules = [Module(spec, "C{}M{}".format(c, m),
                               true_margin_mts=margin)
                        for m in range(hier.modules_per_channel)]
             channel = Channel(
                 index=c, modules=modules, safe_timing=spec_timing,
-                fast_timing=hdmr.fast_timing())
+                fast_timing=backend.fast_timing(
+                    margin, self.config.use_latency_margin),
+                backend=backend)
             if self.config.transition_fault_rate > 0.0:
                 channel.frequency.seed_faults(
                     self.config.seed + 7919 * c,

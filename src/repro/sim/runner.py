@@ -24,9 +24,11 @@ from typing import Dict, List, Optional, Tuple
 from ..analysis.stats import suite_average, weighted_mean
 from ..cache.hierarchy import HIERARCHIES, HierarchyConfig
 from ..core.margin_selection import NODE_GROUP_FRACTIONS
+from ..dram.backend import resolve_backend
 from ..dram.timing import TABLE2_SETTINGS, TimingParameters
 from ..hpc.traces import MEMORY_BUCKET_FRACTIONS
 from ..workloads.registry import suite_names
+from .fidelity import ensure_fidelity_supported
 from .node import NodeConfig, NodeResult, effective_design, simulate_node
 
 #: Effective designs that never leave specification timing: the margin
@@ -64,6 +66,8 @@ class ExperimentRunner:
     refs_per_core: int = 5000
     seed: int = 12345
     fidelity: Optional[str] = None
+    #: Memory-technology backend (None defers to ``REPRO_BACKEND``).
+    backend: Optional[str] = None
     _cache: Dict[tuple, NodeResult] = field(default_factory=dict)
 
     # -- primitives ---------------------------------------------------------------
@@ -90,14 +94,23 @@ class ExperimentRunner:
         fault knobs cannot influence the outcome, so such cells
         deduplicate onto one simulation.  On the Figure 12 grid this
         cuts the number of distinct simulations by ~2.7x."""
+        # Validate the fidelity/knob combination BEFORE the cache
+        # lookup: a hit on a knob-normalized key must not bypass the
+        # fast tier's fault-injection refusal.
+        ensure_fidelity_supported(
+            self.fidelity,
+            knobs={"read_error_rate": read_error_rate,
+                   "transition_fault_rate": transition_fault_rate},
+            source="ExperimentRunner.run")
+        backend = resolve_backend(self.backend)
         eff = effective_design(design, memory_utilization)
         if eff in _SPEC_ONLY_DESIGNS:
-            key = (suite, hierarchy.name, eff,
+            key = (suite, hierarchy.name, eff, backend,
                    timing.data_rate_mts if timing else None,
                    timing.tRCD_ns if timing else None,
                    None, None, None, None)
         else:
-            key = (suite, hierarchy.name, eff,
+            key = (suite, hierarchy.name, eff, backend,
                    timing.data_rate_mts if timing else None,
                    timing.tRCD_ns if timing else None,
                    margin_mts, use_latency_margin,
@@ -111,7 +124,7 @@ class ExperimentRunner:
                 read_error_rate=read_error_rate,
                 transition_fault_rate=transition_fault_rate,
                 refs_per_core=self.refs_per_core, seed=self.seed,
-                fidelity=self.fidelity))
+                fidelity=self.fidelity, backend=backend))
         return self._cache[key]
 
     def baseline(self, suite: str,

@@ -179,12 +179,29 @@ def test_fast_tier_orders_margins_by_physics():
 
 
 def test_fast_tier_rejects_fault_injection():
-    with pytest.raises(FastModelError):
-        simulate_node(_config(read_error_rate=0.01))
-    with pytest.raises(FastModelError):
-        simulate_node(_config(transition_fault_rate=0.01))
-    with pytest.raises(FastModelError):
-        simulate_node(_config(channel_margins=(800,)))
+    """Every unsupported-knob combination dies as one typed
+    FidelityError at config validation, naming the offending knob."""
+    from repro.sim.fidelity import FidelityError
+    with pytest.raises(FidelityError) as err:
+        _config(read_error_rate=0.01)
+    assert "read_error_rate=0.01" in str(err.value)
+    assert "fidelity='cycle'" in str(err.value)
+    with pytest.raises(FidelityError) as err:
+        _config(transition_fault_rate=0.01)
+    assert "transition_fault_rate" in str(err.value)
+    with pytest.raises(FidelityError):
+        _config(channel_margins=(800,))
+
+
+def test_fast_tier_env_resolution_still_refuses_faults(monkeypatch):
+    """A config that defers fidelity to the environment passes
+    construction but is refused at simulate time — same typed error."""
+    from repro.sim.fidelity import FidelityError
+    monkeypatch.setenv(FIDELITY_ENV_VAR, "fast")
+    config = _config(fidelity=None, read_error_rate=0.01)
+    with pytest.raises(FidelityError) as err:
+        simulate_node(config)
+    assert "read_error_rate" in str(err.value)
 
 
 def test_fast_matches_cycle_within_tolerance():
@@ -308,12 +325,19 @@ def test_performance_model_from_calibration():
                                  "over_50": 1.0}
 
 
-def test_chaos_config_fast_fidelity_model(monkeypatch):
-    """The chaos campaign's cluster phase swaps in the calibrated
-    model when asked (and validates the knob)."""
+def test_chaos_config_fast_fidelity_guard():
+    """A fast-fidelity chaos campaign must zero its node fault knobs
+    explicitly; anything else dies at construction with a typed
+    FidelityError naming the knob."""
     from repro.resilience.campaign import ChaosConfig
-    cfg = dataclasses.replace(ChaosConfig.smoke(), fidelity="warp")
+    from repro.sim.fidelity import FidelityError
     with pytest.raises(ValueError):
-        resolve_fidelity(cfg.fidelity)
-    cfg = dataclasses.replace(ChaosConfig.smoke(), fidelity="fast")
+        dataclasses.replace(ChaosConfig.smoke(), fidelity="warp")
+    with pytest.raises(FidelityError) as err:
+        dataclasses.replace(ChaosConfig.smoke(), fidelity="fast")
+    assert "node_read_error_rate" in str(err.value)
+    assert "ChaosConfig" in str(err.value)
+    cfg = dataclasses.replace(ChaosConfig.smoke(), fidelity="fast",
+                              node_read_error_rate=0.0,
+                              node_transition_fault_rate=0.0)
     assert resolve_fidelity(cfg.fidelity) == "fast"
